@@ -1,0 +1,32 @@
+"""Benchmark harness conventions.
+
+Each ``test_e*`` module regenerates one of the paper-style tables or
+figures. Run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+The ``-s`` lets each experiment print its rendered table, so the output
+can be read side by side with EXPERIMENTS.md. Every benchmark also
+asserts the *shape* of its result (orderings, crossovers, correctness
+flags) -- not absolute numbers, which depend on the cost model.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print an ExperimentResult's table(s) under -s."""
+
+    def _show(result, *extra_tables):
+        print()
+        print(result.render())
+        for table in extra_tables:
+            print()
+            print(table.render())
+        chart = result.raw.get("chart")
+        if chart:
+            print()
+            print(chart)
+
+    return _show

@@ -1,0 +1,57 @@
+"""E1 (Table 1): CPU virtualization across execution modes."""
+
+from repro.bench import run_e1, run_e1_workloads
+
+
+def test_e1_cpu_virtualization(benchmark, show):
+    result = benchmark.pedantic(run_e1, kwargs={"syscalls": 300},
+                                iterations=1, rounds=1)
+    show(result)
+    modes = result.raw["modes"]
+
+    # Native is the floor; every virtualized mode pays something.
+    native = modes["native"].total_cycles
+    for label, metrics in modes.items():
+        if label != "native":
+            assert metrics.total_cycles > native, label
+
+    # Ordering of total overhead (Adams & Agesen / Barham shapes):
+    # HW assist < BT < PV < trap-and-emulate for a syscall workload.
+    assert modes["hw+nested"].total_cycles < modes["bin-transl"].total_cycles
+    assert modes["hw+shadow"].total_cycles < modes["bin-transl"].total_cycles
+    assert modes["bin-transl"].total_cycles < modes["paravirt"].total_cycles
+    assert modes["paravirt"].total_cycles < modes["trap-emulate"].total_cycles
+
+    # Exit counts: T&E is the chattiest; BT avoids hardware exits.
+    assert modes["trap-emulate"].exits > modes["paravirt"].exits
+    assert modes["trap-emulate"].exits > 3 * modes["bin-transl"].exits
+    assert modes["hw+nested"].exits < 50
+
+    # Popek-Goldberg: only trap-and-emulate is incorrect.
+    assert not modes["trap-emulate"].correct
+    for label in ("bin-transl", "paravirt", "hw+shadow", "hw+nested"):
+        assert modes[label].correct, label
+
+    # Every mode computed the same (correct) user result.
+    results = {m.diag.user_result for m in modes.values()}
+    assert len(results) == 1
+
+
+def test_e1b_workload_classes(benchmark, show):
+    result = benchmark.pedantic(run_e1_workloads, iterations=1, rounds=1)
+    show(result)
+    overheads = result.raw["overheads"]
+    summary = result.raw["geomean"]
+
+    # Compute-bound guests barely notice virtualization in ANY mode;
+    # memory- and syscall-dense guests pay the real tax.
+    for mode, value in overheads["compute"].items():
+        assert value < 2.0, mode
+    assert overheads["syscall"]["trap-emulate"] > 10
+    assert overheads["memory"]["hw+shadow"] > 3  # demand-paging PT tax
+    assert overheads["memory"]["hw+nested"] < overheads["memory"]["hw+shadow"]
+
+    # Geomean ordering matches the headline E1 story.
+    assert (summary["hw+nested"] < summary["hw+shadow"]
+            < summary["bin-transl"] < summary["paravirt"]
+            < summary["trap-emulate"])

@@ -1,0 +1,31 @@
+"""E5 (Figure 5): proportional-share scheduling and boost latency."""
+
+from repro.bench import run_e5
+from repro.sim.kernel import SEC
+
+
+def test_e5_schedulers(benchmark, show):
+    result = benchmark.pedantic(run_e5, kwargs={"duration_us": 8 * SEC},
+                                iterations=1, rounds=1)
+    show(result, result.raw["latency_table"])
+
+    credit = result.raw["credit"]
+    stride = result.raw["stride"]
+    rr = result.raw["round-robin"]
+
+    # Proportional schedulers hit the 1:2:4 weights; round robin cannot.
+    assert credit.share_error < 0.01
+    assert stride.share_error < 0.01
+    assert rr.share_error > 0.1
+    assert credit.fairness > 0.99 and stride.fairness > 0.99
+    assert rr.fairness < 0.9
+
+    # Achieved shares track the weights.
+    assert credit.achieved_share["vm2"] > 2.5 * credit.achieved_share["vm0"]
+
+    # BOOST: orders of magnitude on interactive wake latency.
+    boosted = result.raw["boost=True"]
+    plain = result.raw["boost=False"]
+    assert boosted.p50 < 200
+    assert plain.p50 > 1000
+    assert boosted.mean * 10 < plain.mean

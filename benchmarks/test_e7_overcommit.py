@@ -1,0 +1,36 @@
+"""E7 (Table 7): overcommit policies + functional page sharing."""
+
+from repro.bench import run_e7, run_e7_functional
+from repro.overcommit import PolicyKind
+
+
+def test_e7_overcommit_policies(benchmark, show):
+    result = benchmark.pedantic(run_e7, iterations=1, rounds=1)
+    show(result)
+    raw = result.raw
+
+    # Undercommitted: everyone runs at full speed.
+    assert raw[2][PolicyKind.SWAP_ONLY].min_throughput == 1.0
+
+    # The canonical progression: swap-only collapses right past 1.0x,
+    # ballooning survives until working sets stop fitting, and sharing
+    # pushes the cliff further still.
+    assert raw[6][PolicyKind.SWAP_ONLY].min_throughput < 0.1
+    assert raw[6][PolicyKind.BALLOON].min_throughput == 1.0
+    assert raw[10][PolicyKind.BALLOON].min_throughput == 1.0
+    assert raw[12][PolicyKind.BALLOON].min_throughput < 0.1
+    assert raw[12][PolicyKind.BALLOON_SHARE].min_throughput == 1.0
+
+    # Sharing savings grow with the VM count.
+    savings = [raw[n][PolicyKind.BALLOON_SHARE].shared_saved_pages
+               for n in sorted(raw)]
+    assert savings == sorted(savings)
+
+
+def test_e7_functional_page_sharing(benchmark, show):
+    result = benchmark.pedantic(run_e7_functional, iterations=1, rounds=1)
+    show(result)
+    # Two near-identical guests: the scanner reclaims most frames, and
+    # the runner asserted both guests still compute correct results.
+    assert result.raw["frames_freed"] > 2000
+    assert result.raw["cow_breaks"] > 0

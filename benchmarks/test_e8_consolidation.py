@@ -1,0 +1,27 @@
+"""E8 (Figure 8): consolidation knee + power/cost savings."""
+
+from repro.bench import run_e8
+
+
+def test_e8_consolidation(benchmark, show):
+    result = benchmark.pedantic(run_e8, iterations=1, rounds=1)
+    show(result, result.raw["fleet_table"])
+    knee = result.raw["knee"]
+
+    # Aggregate throughput climbs linearly then flattens at the knee
+    # (4 cores, 1-core VMs: knee between 3 and 4 VMs with the virt tax).
+    assert knee[1].aggregate_throughput < knee[2].aggregate_throughput
+    assert knee[2].aggregate_throughput < knee[3].aggregate_throughput
+    assert knee[8].aggregate_throughput <= knee[4].aggregate_throughput * 1.01
+    assert not knee[3].saturated and knee[5].saturated
+
+    # Per-VM throughput degrades past the knee; latency explodes.
+    assert knee[8].throughput["v1"] < 0.6
+    assert knee[6].latency_factor["v0"] > 10 * knee[1].latency_factor["v0"]
+
+    # The 50-VM fleet consolidates several-to-one with real savings.
+    savings = result.raw["savings"]
+    assert savings.consolidation_ratio > 3
+    assert savings.watts_after < savings.watts_before / 2
+    assert savings.annual_saving > 0
+    assert 100 < savings.saving_per_retired_host < 2000  # EUR/host/year

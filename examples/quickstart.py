@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Quickstart: boot a guest OS inside a VM and inspect what happened.
+
+Creates a hypervisor, a hardware-assisted VM with nested paging, builds
+the NanoOS kernel and a hello-world user program, boots it, and prints
+the console output plus the VM-exit accounting.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.guest import KernelOptions, boot_vm, build_kernel, workloads
+from repro.util.units import MIB
+
+
+def main() -> None:
+    hypervisor = Hypervisor(memory_bytes=64 * MIB)
+    vm = hypervisor.create_vm(
+        GuestConfig(
+            name="quickstart",
+            memory_bytes=16 * MIB,
+            virt_mode=VirtMode.HW_ASSIST,
+            mmu_mode=MMUVirtMode.NESTED,
+        )
+    )
+
+    kernel = build_kernel(KernelOptions(memory_bytes=16 * MIB))
+    diag = boot_vm(hypervisor, vm, kernel, workloads.hello())
+
+    console = vm.devices["console"]
+    print("=== guest console ===")
+    print(console.text, end="")
+    print("=====================")
+    print(f"guest booted cleanly : {diag.clean}")
+    print(f"user program result  : {diag.user_result}")
+    print(f"syscalls handled     : {diag.syscalls}")
+    print(f"guest instructions   : {vm.vcpus[0].cpu.instret:,}")
+    print(f"guest cycles         : {vm.vcpus[0].cpu.cycles:,}")
+    print(f"VMM cycles           : {vm.stats.vmm_cycles:,}")
+    print(f"world switches       : {vm.stats.world_switches}")
+    print("VM exits by reason   :")
+    for reason, count in sorted(vm.exit_stats.counts.items()):
+        print(f"  {reason:30s} {count}")
+
+
+if __name__ == "__main__":
+    main()

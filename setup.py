@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment this project targets can be fully offline; pip then
+cannot fetch the `wheel` package that PEP 517 editable installs need.
+With this shim (and no [build-system] table in pyproject.toml),
+``pip install -e .`` uses the legacy setuptools develop path, which
+works with a bare setuptools.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""pyvisor: a full-system virtualization platform in pure Python.
+
+Subpackages (see README.md for the architecture overview):
+
+* :mod:`repro.util` -- units, RNG, statistics, tracing, tables.
+* :mod:`repro.sim` -- the discrete-event simulation kernel.
+* :mod:`repro.cpu` -- the VISA ISA: interpreter, assembler, MMU interface.
+* :mod:`repro.mem` -- physical memory, page tables, TLB, cost model.
+* :mod:`repro.devices` -- port bus, PIC, timer, console, disk/NIC
+  (emulated and virtio flavours).
+* :mod:`repro.core` -- the hypervisor: execution modes, shadow/nested
+  paging, the native machine, snapshots.
+* :mod:`repro.guest` -- NanoOS (the guest kernel) and its workloads.
+* :mod:`repro.sched` -- vCPU schedulers (credit, stride, round-robin).
+* :mod:`repro.migration` -- live migration: models, functional pre-copy
+  and post-copy.
+* :mod:`repro.overcommit` -- ballooning, page sharing, host swap, WSS.
+* :mod:`repro.cluster` -- placement, consolidation, power, balancing.
+* :mod:`repro.bench` -- experiment runners (E1-E9).
+
+Command line: ``python -m repro list | run <exp> | boot``.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,95 @@
+"""E1 (Table 1): CPU virtualization cost and correctness across modes.
+
+``run_e1`` measures the syscall-dense worst case in detail;
+``run_e1_workloads`` (Table 1b) normalizes total cycles against native
+across three workload classes -- compute-bound, memory-touching, and
+syscall-dense -- and reports the geometric-mean overhead per mode, the
+single-number summary papers quote.
+
+For each execution mode, run a syscall-heavy guest workload and report
+exit counts, cycle breakdown, normalized overhead versus native, and
+whether the sensitive-instruction probes passed (Popek-Goldberg).
+
+Expected shape (Adams & Agesen '06, Barham '03):
+
+* native is fastest; every virtualized mode costs more;
+* trap-and-emulate has the most exits *and* fails the correctness
+  probes (sensitive non-trapping instructions);
+* binary translation is correct with far fewer world switches;
+* paravirt is correct, with exits only at explicit hypercalls;
+* hardware assistance is correct with exits only at I/O.
+"""
+
+from typing import Dict
+
+from repro.bench.common import ExperimentResult, MODE_MATRIX, ModeMetrics, run_guest_workload
+from repro.guest import workloads
+from repro.util.stats import geomean
+from repro.util.table import Table
+
+SYSCALLS = 400
+
+
+def run_e1(syscalls: int = SYSCALLS) -> ExperimentResult:
+    workload_builder = lambda: workloads.syscall_storm(syscalls)  # noqa: E731
+    rows: Dict[str, ModeMetrics] = {}
+    for label, vmode, mmode, pv in MODE_MATRIX:
+        rows[label] = run_guest_workload(
+            label, workload_builder(), vmode, mmode, pv
+        )
+
+    native_cycles = rows["native"].total_cycles
+    table = Table(
+        f"E1: CPU virtualization, {syscalls} guest syscalls",
+        [
+            "mode", "exits", "exits/syscall", "guest cyc", "vmm cyc",
+            "total cyc", "vs native", "correct",
+        ],
+    )
+    for label, m in rows.items():
+        table.add_row(
+            label,
+            m.exits,
+            m.exits / syscalls,
+            m.guest_cycles,
+            m.vmm_cycles,
+            m.total_cycles,
+            m.total_cycles / native_cycles,
+            m.correct,
+        )
+    return ExperimentResult("E1", table, raw={"modes": rows, "syscalls": syscalls})
+
+
+def run_e1_workloads() -> ExperimentResult:
+    """Table 1b: normalized overhead by workload class, with geomean."""
+    classes = {
+        "compute": lambda: workloads.cpu_bound(8000),
+        "memory": lambda: workloads.memtouch(48, 4),
+        "syscall": lambda: workloads.syscall_storm(250),
+    }
+    overheads: Dict[str, Dict[str, float]] = {}
+    for wname, builder in classes.items():
+        native = run_guest_workload(f"{wname}-native", builder(), None, None,
+                                    False)
+        per_mode: Dict[str, float] = {}
+        for label, vmode, mmode, pv in MODE_MATRIX:
+            if label == "native":
+                continue
+            metrics = run_guest_workload(f"{wname}-{label}", builder(),
+                                         vmode, mmode, pv)
+            per_mode[label] = metrics.total_cycles / native.total_cycles
+        overheads[wname] = per_mode
+
+    mode_labels = [label for label, *_ in MODE_MATRIX if label != "native"]
+    table = Table(
+        "E1b: total-cycle overhead vs native, by workload class",
+        ["mode"] + list(classes) + ["geomean"],
+    )
+    summary: Dict[str, float] = {}
+    for label in mode_labels:
+        values = [overheads[w][label] for w in classes]
+        summary[label] = geomean(values)
+        table.add_row(label, *values, summary[label])
+    return ExperimentResult(
+        "E1b", table, raw={"overheads": overheads, "geomean": summary}
+    )

@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate experiments and boot guests.
+
+Usage::
+
+    python -m repro list                      # what can run
+    python -m repro run e1                    # one experiment table
+    python -m repro run all                   # every table (E1-E9)
+    python -m repro boot --mode hw-nested --workload hello
+"""
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.bench import (
+    run_e1,
+    run_e2,
+    run_e3,
+    run_e4,
+    run_e5,
+    run_e6,
+    run_e6_functional,
+    run_e7,
+    run_e7_functional,
+    run_e8,
+    run_e9_bt,
+    run_e9_exit_cost,
+)
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "e1": run_e1,
+    "e2": run_e2,
+    "e3": run_e3,
+    "e4": run_e4,
+    "e5": run_e5,
+    "e6": run_e6,
+    "e6f": run_e6_functional,
+    "e7": run_e7,
+    "e7f": run_e7_functional,
+    "e8": run_e8,
+    "e9a": run_e9_exit_cost,
+    "e9b": run_e9_bt,
+}
+
+MODES = {
+    "native": (None, None, False),
+    "trap-emulate": ("trap_emulate", "shadow", False),
+    "bin-transl": ("binary_translation", "shadow", False),
+    "paravirt": ("paravirt", "shadow", True),
+    "hw-shadow": ("hw_assist", "shadow", False),
+    "hw-nested": ("hw_assist", "nested", False),
+}
+
+WORKLOADS = [
+    "hello", "cpu_bound", "memtouch", "syscall_storm", "pt_stress",
+    "blk_write", "vblk_write", "net_send", "vnet_send",
+]
+
+
+def _cmd_list(_args) -> int:
+    print("experiments:")
+    for key, fn in EXPERIMENTS.items():
+        doc = (fn.__module__.rsplit(".", 1)[-1]).replace("_", " ")
+        print(f"  {key:4s} {doc}")
+    print("\nboot modes:   " + " ".join(MODES))
+    print("workloads:    " + " ".join(WORKLOADS))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    keys: List[str] = (
+        list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for key in keys:
+        fn = EXPERIMENTS.get(key)
+        if fn is None:
+            print(f"unknown experiment {key!r}; try: {' '.join(EXPERIMENTS)}",
+                  file=sys.stderr)
+            return 2
+        result = fn()
+        print(result.render())
+        for extra in ("latency_table", "fleet_table"):
+            if extra in result.raw:
+                print()
+                print(result.raw[extra].render())
+        print()
+    return 0
+
+
+def _cmd_boot(args) -> int:
+    from repro.bench.common import run_guest_workload
+    from repro.core.modes import MMUVirtMode, VirtMode
+    from repro.guest import workloads as wl
+
+    if args.mode not in MODES:
+        print(f"unknown mode {args.mode!r}; try: {' '.join(MODES)}",
+              file=sys.stderr)
+        return 2
+    if args.workload not in WORKLOADS:
+        print(f"unknown workload {args.workload!r}; try: "
+              f"{' '.join(WORKLOADS)}", file=sys.stderr)
+        return 2
+    vmode_name, mmode_name, pv = MODES[args.mode]
+    vmode = VirtMode(vmode_name) if vmode_name else None
+    mmode = MMUVirtMode(mmode_name) if mmode_name else None
+    workload = getattr(wl, args.workload)()
+    metrics = run_guest_workload(args.mode, workload, vmode, mmode, pv)
+    diag = metrics.diag
+    print(f"mode              : {args.mode}")
+    print(f"workload          : {args.workload}")
+    print(f"clean run         : {diag.clean}")
+    print(f"user result       : {diag.user_result}")
+    print(f"syscalls          : {diag.syscalls}")
+    print(f"guest cycles      : {metrics.guest_cycles:,}")
+    print(f"vmm cycles        : {metrics.vmm_cycles:,}")
+    print(f"exits             : {metrics.exits}")
+    print(f"virtualization OK : {metrics.correct}")
+    if metrics.exit_breakdown:
+        print("exits by reason   :")
+        for reason, count in sorted(metrics.exit_breakdown.items()):
+            print(f"  {reason:32s} {count}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="pyvisor experiment and guest runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments, modes, workloads")
+
+    run_p = sub.add_parser("run", help="regenerate experiment tables")
+    run_p.add_argument("experiment",
+                       help="e1..e9b, e6f/e7f (functional), or 'all'")
+
+    boot_p = sub.add_parser("boot", help="boot NanoOS with a workload")
+    boot_p.add_argument("--mode", default="hw-nested")
+    boot_p.add_argument("--workload", default="hello")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_boot(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Multi-host consolidation and cluster management (experiment E8).
+
+Models a fleet of physical hosts running many VMs:
+
+* :mod:`repro.cluster.host` -- host/VM specifications and placements;
+* :mod:`repro.cluster.placement` -- first-fit / best-fit / worst-fit
+  vector bin packing (memory is a hard constraint, CPU oversubscribes)
+  and a consolidation planner (first-fit decreasing);
+* :mod:`repro.cluster.interference` -- per-host performance under CPU
+  oversubscription: proportional-share throughput and queueing-style
+  latency inflation, the source of the E8 knee at the consolidation
+  ratio where demand crosses capacity;
+* :mod:`repro.cluster.power` -- host power/energy/cost model and the
+  consolidation-savings report;
+* :mod:`repro.cluster.balancer` -- threshold-driven load balancing via
+  live migrations costed by :mod:`repro.migration.model` over a shared
+  management link.
+"""
+
+from repro.cluster.host import HostSpec, VMSpec, Host, Placement
+from repro.cluster.placement import (
+    PlacementPolicy,
+    first_fit,
+    best_fit,
+    worst_fit,
+    plan_consolidation,
+)
+from repro.cluster.interference import host_performance, HostPerformance
+from repro.cluster.power import PowerModel, ConsolidationSavings, consolidation_savings
+from repro.cluster.balancer import LoadBalancer, BalanceReport
+from repro.cluster.workgen import (
+    DEFAULT_CATALOGUE,
+    VMClass,
+    fleet_summary,
+    generate_fleet,
+)
+
+__all__ = [
+    "HostSpec",
+    "VMSpec",
+    "Host",
+    "Placement",
+    "PlacementPolicy",
+    "first_fit",
+    "best_fit",
+    "worst_fit",
+    "plan_consolidation",
+    "host_performance",
+    "HostPerformance",
+    "PowerModel",
+    "ConsolidationSavings",
+    "consolidation_savings",
+    "LoadBalancer",
+    "BalanceReport",
+    "VMClass",
+    "DEFAULT_CATALOGUE",
+    "generate_fleet",
+    "fleet_summary",
+]

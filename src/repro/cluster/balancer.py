@@ -1,0 +1,119 @@
+"""Threshold-driven load balancing via live migration.
+
+When a host's CPU utilization exceeds the high watermark, the balancer
+migrates its smallest relieving VM to the least-loaded host that stays
+under the low watermark -- the standard DRS-style greedy heuristic.
+Migrations are costed with the pre-copy model over a shared management
+link, so concurrent rebalancing decisions queue on real bandwidth.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.cluster.host import Host, Placement, VMSpec
+from repro.migration.model import MigrationConfig, simulate_precopy
+from repro.sim.kernel import Simulator
+from repro.sim.link import NetworkLink
+from repro.util.errors import ConfigError
+from repro.util.units import MIB, PAGE_SIZE
+
+
+@dataclass
+class BalanceReport:
+    """What one rebalancing pass did."""
+
+    migrations: List[Tuple[str, str, str]] = field(default_factory=list)
+    total_migration_time_us: int = 0
+    total_downtime_us: int = 0
+    imbalance_before: float = 0.0
+    imbalance_after: float = 0.0
+
+    @property
+    def migration_count(self) -> int:
+        return len(self.migrations)
+
+
+def _imbalance(placement: Placement) -> float:
+    """Population standard deviation of per-host utilization."""
+    utils = [h.cpu_utilization for h in placement.hosts]
+    if not utils:
+        return 0.0
+    mean = sum(utils) / len(utils)
+    return math.sqrt(sum((u - mean) ** 2 for u in utils) / len(utils))
+
+
+class LoadBalancer:
+    """Greedy migration-based rebalancer."""
+
+    def __init__(
+        self,
+        link: NetworkLink,
+        high_watermark: float = 0.85,
+        low_watermark: float = 0.70,
+        max_migrations: int = 32,
+        dirty_rate_pps: float = 2000.0,
+    ):
+        if not 0 < low_watermark <= high_watermark <= 1.5:
+            raise ConfigError("watermarks must satisfy 0 < low <= high")
+        self.link = link
+        self.high = high_watermark
+        self.low = low_watermark
+        self.max_migrations = max_migrations
+        self.dirty_rate_pps = dirty_rate_pps
+
+    def rebalance(self, placement: Placement) -> BalanceReport:
+        """Migrate VMs until no host exceeds the high watermark (or the
+        migration budget runs out)."""
+        report = BalanceReport(imbalance_before=_imbalance(placement))
+        for _ in range(self.max_migrations):
+            move = self._pick_move(placement)
+            if move is None:
+                break
+            vm, source, target = move
+            result = self._migrate(vm)
+            source.remove(vm.name)
+            target.place(vm)
+            report.migrations.append((vm.name, source.name, target.name))
+            report.total_migration_time_us += result.total_time_us
+            report.total_downtime_us += result.downtime_us
+        report.imbalance_after = _imbalance(placement)
+        return report
+
+    # -- internals -------------------------------------------------------
+
+    def _pick_move(
+        self, placement: Placement
+    ) -> Optional[Tuple[VMSpec, Host, Host]]:
+        overloaded = [
+            h
+            for h in placement.hosts
+            if h.vms and h.cpu_demand / h.spec.cpu_capacity > self.high
+        ]
+        if not overloaded:
+            return None
+        source = max(overloaded, key=lambda h: h.cpu_demand / h.spec.cpu_capacity)
+        # Smallest VM whose departure brings the source under the mark.
+        excess = source.cpu_demand - self.high * source.spec.cpu_capacity
+        candidates = sorted(source.vms.values(), key=lambda v: v.cpu_demand)
+        vm = next((v for v in candidates if v.cpu_demand >= excess), None)
+        if vm is None:
+            vm = candidates[-1]  # biggest we have; partial relief
+        targets = [
+            h
+            for h in placement.hosts
+            if h is not source
+            and h.fits(vm)
+            and (h.cpu_demand + vm.cpu_demand) / h.spec.cpu_capacity <= self.low
+        ]
+        if not targets:
+            return None
+        target = min(targets, key=lambda h: h.cpu_demand / h.spec.cpu_capacity)
+        return vm, source, target
+
+    def _migrate(self, vm: VMSpec):
+        cfg = MigrationConfig(
+            vm_pages=max(1, vm.memory_bytes // PAGE_SIZE),
+            dirty_rate_pps=self.dirty_rate_pps,
+        )
+        return simulate_precopy(cfg, self.link)

@@ -1,0 +1,121 @@
+"""Host and VM specifications, and placements of VMs onto hosts."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.errors import ConfigError
+from repro.util.units import GIB, MIB
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A physical machine type."""
+
+    name: str = "host"
+    cores: int = 4
+    #: Normalized CPU capacity: 1.0 per core by convention.
+    cpu_capacity: float = 4.0
+    memory_bytes: int = 16 * GIB
+    idle_watts: float = 120.0
+    peak_watts: float = 280.0
+
+    def validate(self) -> None:
+        if self.cores <= 0 or self.cpu_capacity <= 0:
+            raise ConfigError("host needs positive CPU")
+        if self.memory_bytes <= 0:
+            raise ConfigError("host needs positive memory")
+        if self.idle_watts < 0 or self.peak_watts < self.idle_watts:
+            raise ConfigError("watts must satisfy 0 <= idle <= peak")
+
+
+@dataclass(frozen=True)
+class VMSpec:
+    """One VM's resource demand."""
+
+    name: str
+    cpu_demand: float = 1.0  # in core-units
+    memory_bytes: int = 2 * GIB
+    #: True for latency-sensitive VMs (reported separately by E8).
+    interactive: bool = False
+
+    def validate(self) -> None:
+        if self.cpu_demand < 0:
+            raise ConfigError("cpu_demand must be non-negative")
+        if self.memory_bytes <= 0:
+            raise ConfigError("memory must be positive")
+
+
+class Host:
+    """A host instance holding placed VMs."""
+
+    def __init__(self, spec: HostSpec, index: int):
+        spec.validate()
+        self.spec = spec
+        self.index = index
+        self.name = f"{spec.name}-{index}"
+        self.vms: Dict[str, VMSpec] = {}
+
+    @property
+    def memory_used(self) -> int:
+        return sum(vm.memory_bytes for vm in self.vms.values())
+
+    @property
+    def memory_free(self) -> int:
+        return self.spec.memory_bytes - self.memory_used
+
+    @property
+    def cpu_demand(self) -> float:
+        return sum(vm.cpu_demand for vm in self.vms.values())
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Actual utilization: demand clipped at capacity, normalized."""
+        return min(1.0, self.cpu_demand / self.spec.cpu_capacity)
+
+    def fits(self, vm: VMSpec) -> bool:
+        """Memory is the hard constraint; CPU may oversubscribe."""
+        return vm.memory_bytes <= self.memory_free
+
+    def place(self, vm: VMSpec) -> None:
+        if vm.name in self.vms:
+            raise ConfigError(f"VM {vm.name} already on {self.name}")
+        if not self.fits(vm):
+            raise ConfigError(f"VM {vm.name} does not fit on {self.name}")
+        self.vms[vm.name] = vm
+
+    def remove(self, name: str) -> VMSpec:
+        try:
+            return self.vms.pop(name)
+        except KeyError:
+            raise ConfigError(f"VM {name} not on {self.name}") from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<Host {self.name} {len(self.vms)} VMs, "
+            f"cpu {self.cpu_demand:.1f}/{self.spec.cpu_capacity}, "
+            f"mem {self.memory_used / MIB:.0f}/{self.spec.memory_bytes / MIB:.0f} MiB>"
+        )
+
+
+@dataclass
+class Placement:
+    """A full assignment of VMs to hosts."""
+
+    hosts: List[Host] = field(default_factory=list)
+
+    @property
+    def hosts_used(self) -> int:
+        return sum(1 for h in self.hosts if h.vms)
+
+    @property
+    def total_vms(self) -> int:
+        return sum(len(h.vms) for h in self.hosts)
+
+    def host_of(self, vm_name: str) -> Optional[Host]:
+        for host in self.hosts:
+            if vm_name in host.vms:
+                return host
+        return None
+
+    def utilization_stats(self) -> List[float]:
+        return [h.cpu_utilization for h in self.hosts if h.vms]

@@ -1,0 +1,99 @@
+"""VM placement: bin-packing policies and the consolidation planner."""
+
+import enum
+from typing import Callable, List, Optional, Sequence
+
+from repro.cluster.host import Host, HostSpec, Placement, VMSpec
+from repro.util.errors import ConfigError
+
+
+class PlacementPolicy(enum.Enum):
+    FIRST_FIT = "first_fit"
+    BEST_FIT = "best_fit"
+    WORST_FIT = "worst_fit"
+
+
+def _place(
+    vms: Sequence[VMSpec],
+    hosts: List[Host],
+    choose: Callable[[VMSpec, List[Host]], Optional[Host]],
+) -> Placement:
+    for vm in vms:
+        vm.validate()
+        candidates = [h for h in hosts if h.fits(vm)]
+        host = choose(vm, candidates)
+        if host is None:
+            raise ConfigError(
+                f"no host can fit VM {vm.name} "
+                f"({vm.memory_bytes} bytes of memory)"
+            )
+        host.place(vm)
+    return Placement(hosts=hosts)
+
+
+def first_fit(vms: Sequence[VMSpec], hosts: List[Host]) -> Placement:
+    """Place each VM on the first host with room."""
+    return _place(vms, hosts, lambda vm, cs: cs[0] if cs else None)
+
+
+def best_fit(vms: Sequence[VMSpec], hosts: List[Host]) -> Placement:
+    """Tightest fit: the candidate with the least free memory left."""
+    return _place(
+        vms,
+        hosts,
+        lambda vm, cs: min(cs, key=lambda h: h.memory_free) if cs else None,
+    )
+
+
+def worst_fit(vms: Sequence[VMSpec], hosts: List[Host]) -> Placement:
+    """Loosest fit: spread load onto the emptiest candidate."""
+    return _place(
+        vms,
+        hosts,
+        lambda vm, cs: max(cs, key=lambda h: h.memory_free) if cs else None,
+    )
+
+
+def place(
+    vms: Sequence[VMSpec], hosts: List[Host], policy: PlacementPolicy
+) -> Placement:
+    """Dispatch by policy enum."""
+    if policy is PlacementPolicy.FIRST_FIT:
+        return first_fit(vms, hosts)
+    if policy is PlacementPolicy.BEST_FIT:
+        return best_fit(vms, hosts)
+    return worst_fit(vms, hosts)
+
+
+def plan_consolidation(
+    vms: Sequence[VMSpec],
+    host_spec: HostSpec,
+    cpu_overcommit: float = 1.0,
+) -> Placement:
+    """Minimize hosts: first-fit decreasing by memory, opening hosts on
+    demand. ``cpu_overcommit`` > 1 allows packing CPU demand beyond
+    capacity (consolidation accepts some contention).
+    """
+    if cpu_overcommit <= 0:
+        raise ConfigError("cpu_overcommit must be positive")
+    ordered = sorted(vms, key=lambda v: v.memory_bytes, reverse=True)
+    hosts: List[Host] = []
+    for vm in ordered:
+        vm.validate()
+        target = None
+        for host in hosts:
+            if host.fits(vm) and (
+                host.cpu_demand + vm.cpu_demand
+                <= host.spec.cpu_capacity * cpu_overcommit
+            ):
+                target = host
+                break
+        if target is None:
+            target = Host(host_spec, index=len(hosts))
+            if not target.fits(vm):
+                raise ConfigError(
+                    f"VM {vm.name} larger than an empty {host_spec.name}"
+                )
+            hosts.append(target)
+        target.place(vm)
+    return Placement(hosts=hosts)

@@ -1,0 +1,81 @@
+"""Synthetic fleet generation for cluster experiments.
+
+Real fleets are heavy-tailed: a few large database VMs, a body of
+medium application servers, and a long tail of small utility VMs.
+The generator draws sizes from a Zipf-skewed catalogue through the
+platform's deterministic RNG, so fleets are reproducible from a seed.
+"""
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cluster.host import VMSpec
+from repro.util.errors import ConfigError
+from repro.util.rng import DeterministicRNG
+from repro.util.units import GIB
+
+
+@dataclass(frozen=True)
+class VMClass:
+    """One entry in the size catalogue."""
+
+    name: str
+    cpu_demand: float
+    memory_bytes: int
+    interactive: bool = False
+
+
+#: Default catalogue, ordered hot-to-cold for the Zipf draw: the small
+#: utility class is the most common, the big database box the rarest.
+DEFAULT_CATALOGUE: Tuple[VMClass, ...] = (
+    VMClass("util", cpu_demand=0.5, memory_bytes=1 * GIB),
+    VMClass("web", cpu_demand=1.0, memory_bytes=2 * GIB, interactive=True),
+    VMClass("app", cpu_demand=1.5, memory_bytes=4 * GIB),
+    VMClass("cache", cpu_demand=1.0, memory_bytes=8 * GIB),
+    VMClass("db", cpu_demand=3.0, memory_bytes=16 * GIB, interactive=True),
+)
+
+
+def generate_fleet(
+    count: int,
+    seed: int = 1,
+    catalogue: Sequence[VMClass] = DEFAULT_CATALOGUE,
+    skew: float = 1.0,
+    jitter: float = 0.2,
+) -> List[VMSpec]:
+    """Generate ``count`` reproducible VM specs.
+
+    ``skew`` is the Zipf exponent over the catalogue order; ``jitter``
+    scales each VM's CPU demand uniformly in ``[1-jitter, 1+jitter]``
+    so same-class VMs are not identical.
+    """
+    if count <= 0:
+        raise ConfigError("count must be positive")
+    if not catalogue:
+        raise ConfigError("catalogue must not be empty")
+    if not 0.0 <= jitter < 1.0:
+        raise ConfigError("jitter must be in [0, 1)")
+    rng = DeterministicRNG(seed)
+    fleet: List[VMSpec] = []
+    for index in range(count):
+        klass = catalogue[rng.sample_zipf(len(catalogue), alpha=skew)]
+        factor = 1.0 + (rng.random() * 2.0 - 1.0) * jitter
+        fleet.append(
+            VMSpec(
+                name=f"{klass.name}-{index:03d}",
+                cpu_demand=round(klass.cpu_demand * factor, 3),
+                memory_bytes=klass.memory_bytes,
+                interactive=klass.interactive,
+            )
+        )
+    return fleet
+
+
+def fleet_summary(fleet: Sequence[VMSpec]) -> dict:
+    """Aggregate demand figures the placement experiments report."""
+    return {
+        "count": len(fleet),
+        "total_cpu": round(sum(vm.cpu_demand for vm in fleet), 3),
+        "total_memory_gib": sum(vm.memory_bytes for vm in fleet) / GIB,
+        "interactive": sum(1 for vm in fleet if vm.interactive),
+    }

@@ -1,0 +1,20 @@
+"""Virtualization mode enums."""
+
+import enum
+
+
+class VirtMode(enum.Enum):
+    """How guest instructions are executed."""
+
+    NATIVE = "native"
+    TRAP_EMULATE = "trap_emulate"
+    BINARY_TRANSLATION = "binary_translation"
+    PARAVIRT = "paravirt"
+    HW_ASSIST = "hw_assist"
+
+
+class MMUVirtMode(enum.Enum):
+    """How guest memory is virtualized."""
+
+    SHADOW = "shadow"
+    NESTED = "nested"

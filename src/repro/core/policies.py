@@ -1,0 +1,80 @@
+"""Virtualization policies installed on guest cores.
+
+A policy decides, at each architecturally sensitive point, whether the
+event stays in the guest or becomes a VM exit. Two policies cover the
+execution modes:
+
+* :class:`HWAssistPolicy` -- VT-x style. Guest privilege is tracked by
+  the hardware; only I/O, VMCALL, HLT and (under shadow paging) PTBR
+  writes and INVLPG exit. Guest traps deliver natively.
+* :class:`DeprivilegedPolicy` -- trap-and-emulate, binary translation
+  and paravirt. The guest runs entirely in real user mode, so *every*
+  trap exits to the VMM (which reflects or emulates), and VMCALL exits
+  as a hypercall. Crucially, the sensitive non-trapping instructions
+  (user-mode STI/CLI, CSRR of MODE/IE) stay native and silently observe
+  host state -- the measured Popek-Goldberg violation. Binary
+  translation avoids this not through the policy but by never executing
+  those instructions directly (the translator rewrites them).
+"""
+
+from repro.cpu.exits import ExitReason, VMExit
+from repro.cpu.interp import CPUCore, NATIVE, TrapInfo, VirtPolicy
+from repro.cpu.isa import CSR, Op
+
+
+class HWAssistPolicy(VirtPolicy):
+    """Hardware-assisted execution: exit only on configured events."""
+
+    def __init__(self, vcpu, intercept_paging: bool):
+        #: True under shadow paging (PTBR writes and INVLPG must exit so
+        #: the VMM can maintain shadows); False under nested paging.
+        self.vcpu = vcpu
+        self.intercept_paging = intercept_paging
+
+    def io(self, cpu: CPUCore, is_in: bool, port: int, value: int):
+        reason = ExitReason.IO_IN if is_in else ExitReason.IO_OUT
+        raise VMExit(reason, guest_pc=cpu.pc, instruction_length=4,
+                     port=port, value=value)
+
+    def vmcall(self, cpu: CPUCore, num: int):
+        raise VMExit(ExitReason.VMCALL, guest_pc=cpu.pc,
+                     instruction_length=4, num=num)
+
+    def hlt(self, cpu: CPUCore):
+        raise VMExit(ExitReason.HLT, guest_pc=cpu.pc, instruction_length=4)
+
+    def csr_write(self, cpu: CPUCore, csr: int, value: int):
+        if csr == CSR.PTBR and self.intercept_paging:
+            raise VMExit(ExitReason.CSR_WRITE, guest_pc=cpu.pc,
+                         instruction_length=4, csr=csr, value=value)
+        return NATIVE
+
+    def invlpg(self, cpu: CPUCore, va: int):
+        if self.intercept_paging:
+            raise VMExit(ExitReason.PRIV_INSTR, guest_pc=cpu.pc,
+                         instruction_length=4, op=Op.INVLPG, va=va)
+        return NATIVE
+
+
+class DeprivilegedPolicy(VirtPolicy):
+    """Software virtualization: every trap is intercepted."""
+
+    def __init__(self, vcpu):
+        self.vcpu = vcpu
+
+    def trap(self, cpu: CPUCore, info: TrapInfo, ins):
+        raise VMExit(
+            ExitReason.GUEST_TRAP,
+            guest_pc=cpu.pc,
+            instruction_length=ins.length if ins is not None else 0,
+            trap=info,
+            ins=ins,
+        )
+
+    def vmcall(self, cpu: CPUCore, num: int):
+        raise VMExit(ExitReason.VMCALL, guest_pc=cpu.pc,
+                     instruction_length=4, num=num)
+
+    # Sensitive non-trapping instructions and public-CSR reads stay
+    # NATIVE deliberately: the guest silently sees *hardware* state.
+    # (Inherited VirtPolicy defaults.)

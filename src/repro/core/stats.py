@@ -1,0 +1,67 @@
+"""Exit and runtime accounting -- the raw data behind experiment E1."""
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cpu.exits import ExitReason
+
+
+@dataclass
+class ExitStats:
+    """Per-reason exit counts and the cycles the VMM spent on them."""
+
+    counts: Counter = field(default_factory=Counter)
+    cycles: Counter = field(default_factory=Counter)
+
+    def record(self, reason: ExitReason, cycles: int, detail: str = "") -> None:
+        key = f"{reason.value}:{detail}" if detail else reason.value
+        self.counts[key] += 1
+        self.cycles[key] += cycles
+
+    @property
+    def total_exits(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles.values())
+
+    def by_reason(self) -> Dict[str, int]:
+        return dict(self.counts)
+
+    def merge(self, other: "ExitStats") -> None:
+        self.counts.update(other.counts)
+        self.cycles.update(other.cycles)
+
+
+@dataclass
+class VMStats:
+    """Whole-VM accounting."""
+
+    guest_instructions: int = 0
+    guest_cycles: int = 0  # cycles spent executing guest code
+    vmm_cycles: int = 0  # cycles spent in the VMM (exits, fills, emulation)
+    world_switches: int = 0
+    hypercalls: int = 0
+    reflected_traps: int = 0
+    injected_irqs: int = 0
+    shadow_fills: int = 0
+    shadow_pt_writes: int = 0
+    ept_violations: int = 0
+    bt_translated_instructions: int = 0
+    bt_callouts: int = 0
+    bt_block_hits: int = 0
+    bt_block_misses: int = 0
+    bt_chained: int = 0
+
+    @property
+    def total_cycles(self) -> int:
+        return self.guest_cycles + self.vmm_cycles
+
+    @property
+    def overhead_ratio(self) -> float:
+        """VMM cycles per guest cycle (0 = no virtualization tax)."""
+        if self.guest_cycles == 0:
+            return 0.0
+        return self.vmm_cycles / self.guest_cycles

@@ -1,0 +1,208 @@
+"""Virtual machine objects: configuration, guest-physical memory, the VM.
+
+:class:`GuestMemory` is the gPA -> hPA indirection every other piece
+builds on: shadow paging resolves guest frame numbers through it, device
+DMA goes through it (and marks pages dirty for migration), ballooning
+unmaps through it, page sharing re-points it.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.modes import MMUVirtMode, VirtMode
+from repro.core.stats import ExitStats, VMStats
+from repro.cpu.isa import Cause
+from repro.mem.physmem import FrameAllocator, PhysicalMemory
+from repro.util.errors import ConfigError, MemoryError_
+from repro.util.units import MIB, PAGE_SHIFT, PAGE_SIZE, bytes_to_pages
+
+
+@dataclass
+class GuestConfig:
+    """Static configuration of one VM."""
+
+    name: str = "vm"
+    memory_bytes: int = 4 * MIB
+    virt_mode: VirtMode = VirtMode.HW_ASSIST
+    mmu_mode: MMUVirtMode = MMUVirtMode.NESTED
+    tlb_entries: int = 64
+    #: Allocate and map all guest frames up front (False = demand-page
+    #: through EPT violations; only meaningful with nested paging).
+    prealloc: bool = True
+    #: Attach virtio devices instead of (or in addition to) emulated ones.
+    with_virtio: bool = True
+    with_emulated_io: bool = True
+
+    def validate(self) -> None:
+        if self.memory_bytes <= 0 or self.memory_bytes % PAGE_SIZE:
+            raise ConfigError(
+                f"guest memory must be a positive multiple of {PAGE_SIZE}"
+            )
+        if self.virt_mode is VirtMode.NATIVE:
+            raise ConfigError("NATIVE mode runs on a Machine, not in a VM")
+        if (
+            self.virt_mode is not VirtMode.HW_ASSIST
+            and self.mmu_mode is MMUVirtMode.NESTED
+        ):
+            raise ConfigError(
+                f"{self.virt_mode.value} requires shadow paging "
+                "(nested paging needs hardware assistance)"
+            )
+        if not self.prealloc and self.mmu_mode is not MMUVirtMode.NESTED:
+            raise ConfigError("demand paging of guest RAM requires nested mode")
+
+
+class GuestMemory:
+    """Guest-physical address space: a gfn -> hfn map over host RAM.
+
+    All byte accessors accept arbitrary (possibly page-crossing) ranges.
+    Writes optionally invoke ``write_hook(gfn)`` -- the dirty-tracking
+    tap used by live migration for device DMA (CPU stores are tracked
+    through page-table dirty bits instead).
+    """
+
+    def __init__(self, host_physmem: PhysicalMemory, num_pages: int):
+        if num_pages <= 0:
+            raise MemoryError_("guest needs at least one page")
+        self.host = host_physmem
+        self.num_pages = num_pages
+        self.map: Dict[int, int] = {}  # gfn -> hfn
+        self.write_hook: Optional[Callable[[int], None]] = None
+
+    @property
+    def size(self) -> int:
+        return self.num_pages << PAGE_SHIFT
+
+    def map_page(self, gfn: int, hfn: int) -> None:
+        if not 0 <= gfn < self.num_pages:
+            raise MemoryError_(f"gfn {gfn} outside guest of {self.num_pages} pages")
+        self.map[gfn] = hfn
+
+    def unmap_page(self, gfn: int) -> int:
+        """Remove a mapping; returns the host frame it pointed to."""
+        try:
+            return self.map.pop(gfn)
+        except KeyError:
+            raise MemoryError_(f"gfn {gfn} not mapped") from None
+
+    def is_mapped(self, gfn: int) -> bool:
+        return gfn in self.map
+
+    def gpa_to_hpa(self, gpa: int) -> int:
+        gfn = gpa >> PAGE_SHIFT
+        hfn = self.map.get(gfn)
+        if hfn is None:
+            raise MemoryError_(f"guest-physical {gpa:#x} not backed (gfn {gfn})")
+        return (hfn << PAGE_SHIFT) | (gpa & (PAGE_SIZE - 1))
+
+    # -- scalar accessors ------------------------------------------------
+
+    def read_u32(self, gpa: int) -> int:
+        return self.host.read_u32(self.gpa_to_hpa(gpa))
+
+    def write_u32(self, gpa: int, value: int) -> None:
+        self.host.write_u32(self.gpa_to_hpa(gpa), value)
+        self._note_write(gpa >> PAGE_SHIFT)
+
+    def read_u8(self, gpa: int) -> int:
+        return self.host.read_u8(self.gpa_to_hpa(gpa))
+
+    def write_u8(self, gpa: int, value: int) -> None:
+        self.host.write_u8(self.gpa_to_hpa(gpa), value)
+        self._note_write(gpa >> PAGE_SHIFT)
+
+    # -- bulk accessors (page-crossing safe) --------------------------------
+
+    def read_bytes(self, gpa: int, length: int) -> bytes:
+        chunks = []
+        while length > 0:
+            in_page = min(length, PAGE_SIZE - (gpa & (PAGE_SIZE - 1)))
+            chunks.append(self.host.read_bytes(self.gpa_to_hpa(gpa), in_page))
+            gpa += in_page
+            length -= in_page
+        return b"".join(chunks)
+
+    def write_bytes(self, gpa: int, data: bytes) -> None:
+        offset = 0
+        while offset < len(data):
+            in_page = min(
+                len(data) - offset, PAGE_SIZE - (gpa & (PAGE_SIZE - 1))
+            )
+            self.host.write_bytes(self.gpa_to_hpa(gpa), data[offset : offset + in_page])
+            self._note_write(gpa >> PAGE_SHIFT)
+            gpa += in_page
+            offset += in_page
+
+    def read_gfn(self, gfn: int) -> bytes:
+        return self.read_bytes(gfn << PAGE_SHIFT, PAGE_SIZE)
+
+    def write_gfn(self, gfn: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise MemoryError_("write_gfn needs exactly one page of data")
+        self.write_bytes(gfn << PAGE_SHIFT, data)
+
+    def _note_write(self, gfn: int) -> None:
+        if self.write_hook is not None:
+            self.write_hook(gfn)
+
+
+class VirtualMachine:
+    """One guest: memory, vCPUs, virtual devices, statistics.
+
+    Construction wires nothing up -- :meth:`repro.core.hypervisor.
+    Hypervisor.create_vm` is the factory that allocates memory, builds
+    the MMU, attaches devices, and registers the VM.
+    """
+
+    def __init__(self, config: GuestConfig, guest_mem: GuestMemory):
+        config.validate()
+        self.config = config
+        self.name = config.name
+        self.guest_mem = guest_mem
+        self.vcpus: List = []
+        self.port_bus = None  # virtual device bus (PortBus)
+        self.pic = None  # virtual InterruptController
+        self.bt = None  # BTEngine under BINARY_TRANSLATION
+        self.devices: Dict[str, object] = {}
+        self.exit_stats = ExitStats()
+        self.stats = VMStats()
+        #: virtual IRQ causes awaiting injection (deprivileged modes).
+        self.pending_virqs: Set[Cause] = set()
+        #: set by the balloon driver: gfns surrendered to the host.
+        self.ballooned_gfns: Set[int] = set()
+
+    @property
+    def num_pages(self) -> int:
+        return self.guest_mem.num_pages
+
+    # The PIC's interrupt sink: route a coalesced interrupt toward the
+    # vCPU. Under HW_ASSIST injection goes straight into the core's
+    # pending set (hardware event injection); under deprivileged modes
+    # the VMM reflects it at the next exit boundary, respecting the
+    # guest's *virtual* IE.
+    def assert_irq(self, cause: Cause) -> None:
+        from repro.core.modes import VirtMode
+
+        if self.config.virt_mode is VirtMode.HW_ASSIST:
+            for vcpu in self.vcpus:
+                vcpu.cpu.assert_irq(cause)
+                vcpu.halted = False
+        else:
+            self.pending_virqs.add(cause)
+            for vcpu in self.vcpus:
+                vcpu.halted = False
+
+    def device(self, name: str):
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise ConfigError(
+                f"VM {self.name!r} has no device {name!r}; "
+                f"available: {sorted(self.devices)}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"<VirtualMachine {self.name} {self.config.virt_mode.value}/"
+            f"{self.config.mmu_mode.value} {self.num_pages} pages>"
+        )

@@ -1,0 +1,465 @@
+"""Two-pass VISA assembler.
+
+Accepts the syntax used throughout :mod:`repro.guest`::
+
+    ; comment                  # comment
+    .org  0x1000               ; set location counter (also the load base)
+    .equ  STACK_TOP, 0x9000    ; named constant
+    .word 0xdeadbeef           ; literal 32-bit data
+    .space 64                  ; zero-filled bytes
+
+    start:
+        li    a0, 42           ; load 32-bit immediate
+        add   a1, a0, 8        ; immediate B operand -> imm32 form
+        add   a1, a0, t0       ; register B operand
+        ld    t1, [sp+4]
+        st    [sp+0], t1
+        beq   a0, zero, done   ; branch to label (absolute imm32)
+        call  subroutine       ; jal lr, subroutine
+        jmp   loop
+        ret                    ; jalr zero, lr
+        syscall 3
+        vmcall  1
+        csrw  PTBR, a0
+        csrr  a0, ECAUSE
+        out   0x40, a0
+        in    a0, 0x40
+        push  s0
+        pop   s0
+
+Expressions in immediate positions are ``term (('+'|'-') term)*`` where a
+term is an integer literal (decimal, 0x hex, 0b binary, possibly negative)
+or a symbol (label or .equ constant).
+
+Pass 1 parses and sizes every statement (instruction length is decidable
+syntactically: the B operand is an immediate iff its token is not a
+register name); pass 2 resolves symbols and emits bytes.
+"""
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.cpu.isa import CSR, Op, REG_NAMES, encode
+
+_MEM_RE = re.compile(r"^\[\s*([A-Za-z_][A-Za-z0-9_]*)\s*([+-]\s*[^\]]+)?\]$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][A-Za-z0-9_.$]*):")
+_INT_RE = re.compile(r"^-?(0[xX][0-9a-fA-F]+|0[bB][01]+|\d+)$")
+
+
+class AssemblyError(Exception):
+    """Parse or resolution failure; message includes the source line."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None, line: str = ""):
+        location = f" (line {line_no}: {line.strip()!r})" if line_no else ""
+        super().__init__(message + location)
+        self.line_no = line_no
+
+
+@dataclass
+class Program:
+    """Assembled image."""
+
+    base: int
+    data: bytes
+    symbols: Dict[str, int] = field(default_factory=dict)
+    entry: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def load(self, physmem, pa: Optional[int] = None) -> int:
+        """Copy the image into physical memory; returns the load address."""
+        addr = self.base if pa is None else pa
+        physmem.write_bytes(addr, self.data)
+        return addr
+
+
+@dataclass
+class _Statement:
+    line_no: int
+    line: str
+    addr: int = 0
+    size: int = 0
+    emit: Optional[Callable[["_Resolver"], bytes]] = None
+
+
+class _Resolver:
+    """Symbol/expression evaluation context for pass 2."""
+
+    def __init__(self, symbols: Dict[str, int]):
+        self.symbols = symbols
+
+    def expr(self, text: str, line_no: int, line: str) -> int:
+        text = text.strip()
+        if not text:
+            raise AssemblyError("empty expression", line_no, line)
+        # A negative integer literal ("-4") must not be split into 0 - 4
+        # (they are equivalent) but a leading sign is normalized by
+        # prepending a zero term so the token stream alternates properly.
+        if text[0] in "+-":
+            text = "0" + text
+        tokens = re.split(r"\s*([+-])\s*", text)
+        if any(t == "" for t in tokens):
+            raise AssemblyError(f"bad expression {text!r}", line_no, line)
+        value = self._term(tokens[0], line_no, line)
+        i = 1
+        while i < len(tokens):
+            sign, term = tokens[i], tokens[i + 1]
+            term_val = self._term(term, line_no, line)
+            value = value + term_val if sign == "+" else value - term_val
+            i += 2
+        return value
+
+    def _term(self, token: str, line_no: int, line: str) -> int:
+        token = token.strip()
+        if _INT_RE.match(token):
+            return int(token, 0)
+        if token in self.symbols:
+            return self.symbols[token]
+        raise AssemblyError(f"undefined symbol {token!r}", line_no, line)
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self):
+        self._symbols: Dict[str, int] = {}
+        self._statements: List[_Statement] = []
+        self._origin: Optional[int] = None
+        self._pc = 0
+
+    def assemble(self, source: str, base: int = 0) -> Program:
+        """Assemble ``source``; ``base`` is used unless ``.org`` appears."""
+        self._symbols = {}
+        self._statements = []
+        self._origin = None
+        self._pc = base
+
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            self._parse_line(line_no, raw)
+
+        resolver = _Resolver(self._symbols)
+        chunks: List[bytes] = []
+        for st in self._statements:
+            if st.emit is None:
+                continue
+            data = st.emit(resolver)
+            if len(data) != st.size:
+                raise AssemblyError(
+                    f"internal: sized {st.size} but emitted {len(data)}",
+                    st.line_no,
+                    st.line,
+                )
+            chunks.append(data)
+
+        origin = self._origin if self._origin is not None else base
+        program = Program(
+            base=origin,
+            data=b"".join(chunks),
+            symbols=dict(self._symbols),
+            entry=self._symbols.get("start", origin),
+        )
+        return program
+
+    # -- pass 1 ------------------------------------------------------------
+
+    def _parse_line(self, line_no: int, raw: str) -> None:
+        line = raw.split(";")[0].split("#")[0].strip()
+        while True:
+            m = _LABEL_RE.match(line)
+            if not m:
+                break
+            name = m.group(1)
+            if name in self._symbols:
+                raise AssemblyError(f"duplicate label {name!r}", line_no, raw)
+            self._symbols[name] = self._pc
+            line = line[m.end():].strip()
+        if not line:
+            return
+        mnemonic, _, rest = line.partition(" ")
+        mnemonic = mnemonic.lower()
+        operands = [op.strip() for op in _split_operands(rest)] if rest.strip() else []
+
+        if mnemonic.startswith("."):
+            self._directive(mnemonic, operands, line_no, raw)
+            return
+
+        for instr_size, emit in self._expand(mnemonic, operands, line_no, raw):
+            st = _Statement(line_no, raw, addr=self._pc, size=instr_size, emit=emit)
+            self._statements.append(st)
+            self._pc += instr_size
+
+    def _directive(
+        self, name: str, operands: List[str], line_no: int, raw: str
+    ) -> None:
+        if name == ".org":
+            if len(operands) != 1:
+                raise AssemblyError(".org needs one operand", line_no, raw)
+            value = int(operands[0], 0)
+            if self._statements or self._origin is not None:
+                raise AssemblyError(
+                    ".org must appear once, before any code", line_no, raw
+                )
+            self._origin = value
+            self._pc = value
+        elif name == ".equ":
+            if len(operands) != 2:
+                raise AssemblyError(".equ needs NAME, VALUE", line_no, raw)
+            symbol = operands[0]
+            if symbol in self._symbols:
+                raise AssemblyError(f"duplicate symbol {symbol!r}", line_no, raw)
+            self._symbols[symbol] = int(operands[1], 0)
+        elif name == ".word":
+            for op_text in operands:
+                self._emit_data(4, self._word_emitter(op_text, line_no, raw))
+        elif name == ".space":
+            if len(operands) != 1:
+                raise AssemblyError(".space needs a byte count", line_no, raw)
+            count = int(operands[0], 0)
+            if count < 0:
+                raise AssemblyError(".space count must be >= 0", line_no, raw)
+            self._emit_data(count, lambda _r, n=count: b"\x00" * n)
+        else:
+            raise AssemblyError(f"unknown directive {name}", line_no, raw)
+
+    def _word_emitter(self, text: str, line_no: int, raw: str):
+        def emit(resolver: _Resolver) -> bytes:
+            value = resolver.expr(text, line_no, raw)
+            return (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+        return emit
+
+    def _emit_data(self, size: int, emit) -> None:
+        st = _Statement(0, "", addr=self._pc, size=size, emit=emit)
+        self._statements.append(st)
+        self._pc += size
+
+    # -- instruction expansion ---------------------------------------------
+
+    def _expand(
+        self, mnemonic: str, ops: List[str], line_no: int, raw: str
+    ) -> List[Tuple[int, Callable]]:
+        """Return [(size, emit_fn), ...] -- pseudos expand to several."""
+        err = lambda msg: AssemblyError(msg, line_no, raw)  # noqa: E731
+
+        def reg(token: str) -> int:
+            r = REG_NAMES.get(token.lower())
+            if r is None:
+                raise err(f"not a register: {token!r}")
+            return r
+
+        def is_reg(token: str) -> bool:
+            return token.lower() in REG_NAMES
+
+        def simple(op: Op, rd=0, ra=0, rb=0, simm12=0) -> Tuple[int, Callable]:
+            return 4, lambda _r: encode(op, rd, ra, rb, simm12)
+
+        def with_imm(op: Op, rd, ra, expr_text) -> Tuple[int, Callable]:
+            def emit(resolver: _Resolver) -> bytes:
+                value = resolver.expr(expr_text, line_no, raw)
+                return encode(op, rd, ra, 0, 0, imm32=value)
+
+            return 8, [emit][0]
+
+        def alu3(op: Op) -> List[Tuple[int, Callable]]:
+            if len(ops) != 3:
+                raise err(f"{mnemonic} needs rd, ra, rb/imm")
+            rd, ra = reg(ops[0]), reg(ops[1])
+            if is_reg(ops[2]):
+                return [simple(op, rd, ra, reg(ops[2]))]
+            return [with_imm(op, rd, ra, ops[2])]
+
+        def mem_operand(token: str) -> Tuple[int, str]:
+            m = _MEM_RE.match(token)
+            if not m:
+                raise err(f"bad memory operand {token!r} (want [reg+off])")
+            base_reg = reg(m.group(1))
+            off_text = (m.group(2) or "+0").replace(" ", "")
+            return base_reg, off_text
+
+        def load_store(op: Op, data_first: bool) -> List[Tuple[int, Callable]]:
+            if len(ops) != 2:
+                raise err(f"{mnemonic} needs two operands")
+            if data_first:  # ld rd, [ra+off]
+                rd, (ra, off_text) = reg(ops[0]), mem_operand(ops[1])
+                rb = 0
+            else:  # st [ra+off], rb
+                (ra, off_text), rb = mem_operand(ops[0]), reg(ops[1])
+                rd = 0
+
+            def emit(resolver: _Resolver) -> bytes:
+                off = resolver.expr(off_text, line_no, raw)
+                if not -2048 <= off <= 2047:
+                    raise err(f"displacement {off} outside simm12")
+                return encode(op, rd, ra, rb, off)
+
+            return [(4, emit)]
+
+        def branch(op: Op) -> List[Tuple[int, Callable]]:
+            if len(ops) != 3:
+                raise err(f"{mnemonic} needs ra, rb, target")
+            ra, rb = reg(ops[0]), reg(ops[1])
+
+            def emit(resolver: _Resolver) -> bytes:
+                target = resolver.expr(ops[2], line_no, raw)
+                return encode(op, 0, ra, rb, 0, imm32=target)
+
+            return [(8, emit)]
+
+        def small_imm(op: Op) -> List[Tuple[int, Callable]]:
+            number = int(ops[0], 0) if ops else 0
+            if not -2048 <= number <= 2047:
+                raise err(f"{mnemonic} number {number} outside simm12")
+            return [simple(op, simm12=number)]
+
+        def csr_num(token: str) -> int:
+            try:
+                return int(CSR[token.upper()])
+            except KeyError:
+                pass
+            if _INT_RE.match(token):
+                return int(token, 0)
+            raise err(f"unknown CSR {token!r}")
+
+        table: Dict[str, Callable[[], List[Tuple[int, Callable]]]] = {
+            "nop": lambda: [simple(Op.NOP)],
+            "add": lambda: alu3(Op.ADD),
+            "sub": lambda: alu3(Op.SUB),
+            "mul": lambda: alu3(Op.MUL),
+            "divu": lambda: alu3(Op.DIVU),
+            "remu": lambda: alu3(Op.REMU),
+            "and": lambda: alu3(Op.AND),
+            "or": lambda: alu3(Op.OR),
+            "xor": lambda: alu3(Op.XOR),
+            "shl": lambda: alu3(Op.SHL),
+            "shr": lambda: alu3(Op.SHR),
+            "sar": lambda: alu3(Op.SAR),
+            "slt": lambda: alu3(Op.SLT),
+            "sltu": lambda: alu3(Op.SLTU),
+            "ld": lambda: load_store(Op.LD, data_first=True),
+            "st": lambda: load_store(Op.ST, data_first=False),
+            "ldb": lambda: load_store(Op.LDB, data_first=True),
+            "stb": lambda: load_store(Op.STB, data_first=False),
+            "beq": lambda: branch(Op.BEQ),
+            "bne": lambda: branch(Op.BNE),
+            "blt": lambda: branch(Op.BLT),
+            "bge": lambda: branch(Op.BGE),
+            "bltu": lambda: branch(Op.BLTU),
+            "bgeu": lambda: branch(Op.BGEU),
+            "syscall": lambda: small_imm(Op.SYSCALL),
+            "vmcall": lambda: small_imm(Op.VMCALL),
+            "iret": lambda: [simple(Op.IRET)],
+            "hlt": lambda: [simple(Op.HLT)],
+            "sti": lambda: [simple(Op.STI)],
+            "cli": lambda: [simple(Op.CLI)],
+            "brk": lambda: [simple(Op.BRK)],
+        }
+
+        if mnemonic in table:
+            return table[mnemonic]()
+
+        # Forms with irregular operands:
+        if mnemonic in ("li", "movi"):
+            if len(ops) != 2:
+                raise err("li needs rd, imm")
+            return [with_imm(Op.MOVI, reg(ops[0]), 0, ops[1])]
+        if mnemonic == "mov":
+            if len(ops) != 2:
+                raise err("mov needs rd, ra")
+            return [simple(Op.MOV, reg(ops[0]), reg(ops[1]))]
+        if mnemonic == "csrr":
+            if len(ops) != 2:
+                raise err("csrr needs rd, csr")
+            return [simple(Op.CSRR, reg(ops[0]), simm12=csr_num(ops[1]))]
+        if mnemonic == "csrw":
+            if len(ops) != 2:
+                raise err("csrw needs csr, ra")
+            return [simple(Op.CSRW, ra=reg(ops[1]), simm12=csr_num(ops[0]))]
+        if mnemonic == "out":
+            if len(ops) != 2:
+                raise err("out needs port, ra")
+            return [simple(Op.OUT, ra=reg(ops[1]), simm12=int(ops[0], 0))]
+        if mnemonic == "in":
+            if len(ops) != 2:
+                raise err("in needs rd, port")
+            return [simple(Op.IN, rd=reg(ops[0]), simm12=int(ops[1], 0))]
+        if mnemonic == "invlpg":
+            if len(ops) != 1:
+                raise err("invlpg needs ra")
+            return [simple(Op.INVLPG, ra=reg(ops[0]))]
+        if mnemonic == "jal":
+            if len(ops) != 2:
+                raise err("jal needs rd, target")
+            return [with_imm(Op.JAL, reg(ops[0]), 0, ops[1])]
+        if mnemonic == "jalr":
+            if len(ops) != 2:
+                raise err("jalr needs rd, ra")
+            return [simple(Op.JALR, reg(ops[0]), reg(ops[1]))]
+
+        # Pseudo-instructions:
+        if mnemonic == "call":
+            if len(ops) != 1:
+                raise err("call needs a target")
+            return [with_imm(Op.JAL, REG_NAMES["lr"], 0, ops[0])]
+        if mnemonic == "jmp":
+            if len(ops) != 1:
+                raise err("jmp needs a target")
+            return [with_imm(Op.JAL, 0, 0, ops[0])]
+        if mnemonic == "ret":
+            return [simple(Op.JALR, 0, REG_NAMES["lr"])]
+        if mnemonic == "beqz":
+            if len(ops) != 2:
+                raise err("beqz needs ra, target")
+            ra = reg(ops[0])
+            return [
+                (8, lambda r, ra=ra: encode(Op.BEQ, 0, ra, 0, 0,
+                                            imm32=r.expr(ops[1], line_no, raw)))
+            ]
+        if mnemonic == "bnez":
+            if len(ops) != 2:
+                raise err("bnez needs ra, target")
+            ra = reg(ops[0])
+            return [
+                (8, lambda r, ra=ra: encode(Op.BNE, 0, ra, 0, 0,
+                                            imm32=r.expr(ops[1], line_no, raw)))
+            ]
+        if mnemonic == "push":
+            if len(ops) != 1:
+                raise err("push needs a register")
+            sp, src = REG_NAMES["sp"], reg(ops[0])
+            return [
+                (8, lambda _r: encode(Op.ADD, sp, sp, 0, 0, imm32=-4 & 0xFFFFFFFF)),
+                (4, lambda _r: encode(Op.ST, 0, sp, src, 0)),
+            ]
+        if mnemonic == "pop":
+            if len(ops) != 1:
+                raise err("pop needs a register")
+            sp, dst = REG_NAMES["sp"], reg(ops[0])
+            return [
+                (4, lambda _r: encode(Op.LD, dst, sp, 0, 0)),
+                (8, lambda _r: encode(Op.ADD, sp, sp, 0, 0, imm32=4)),
+            ]
+
+        raise err(f"unknown mnemonic {mnemonic!r}")
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas that are not inside [...] memory operands."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return [p for p in (s.strip() for s in parts) if p]

@@ -1,0 +1,89 @@
+"""VISA disassembler (debugging aid and round-trip test oracle)."""
+
+from typing import List, Tuple
+
+from repro.cpu.isa import CSR, Instruction, Op, REG_ALIASES, decode
+
+
+def _reg(n: int) -> str:
+    return REG_ALIASES.get(n, f"r{n}")
+
+
+def _csr(n: int) -> str:
+    try:
+        return CSR(n).name
+    except ValueError:
+        return str(n)
+
+
+def format_instruction(ins: Instruction) -> str:
+    """Render one decoded instruction in assembler syntax."""
+    imm, bval = ins.operand_b
+    b = f"{bval:#x}" if imm else _reg(bval)
+
+    op = ins.op
+    if op is Op.NOP:
+        return "nop"
+    if op in (Op.ADD, Op.SUB, Op.MUL, Op.DIVU, Op.REMU, Op.AND, Op.OR,
+              Op.XOR, Op.SHL, Op.SHR, Op.SAR, Op.SLT, Op.SLTU):
+        return f"{op.name.lower()} {_reg(ins.rd)}, {_reg(ins.ra)}, {b}"
+    if op is Op.MOV:
+        return f"mov {_reg(ins.rd)}, {_reg(ins.ra)}"
+    if op is Op.MOVI:
+        return f"li {_reg(ins.rd)}, {ins.imm32:#x}"
+    if op in (Op.LD, Op.LDB):
+        return f"{op.name.lower()} {_reg(ins.rd)}, [{_reg(ins.ra)}{ins.simm12:+d}]"
+    if op in (Op.ST, Op.STB):
+        return f"{op.name.lower()} [{_reg(ins.ra)}{ins.simm12:+d}], {_reg(ins.rb)}"
+    if op is Op.JAL:
+        if ins.rd == 0:
+            return f"jmp {ins.imm32:#x}"
+        return f"jal {_reg(ins.rd)}, {ins.imm32:#x}"
+    if op is Op.JALR:
+        if ins.rd == 0:
+            return "ret" if ins.ra == 14 else f"jalr zero, {_reg(ins.ra)}"
+        return f"jalr {_reg(ins.rd)}, {_reg(ins.ra)}"
+    if op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU):
+        return (
+            f"{op.name.lower()} {_reg(ins.ra)}, {_reg(ins.rb)}, {ins.imm32:#x}"
+        )
+    if op is Op.SYSCALL:
+        return f"syscall {ins.simm12}"
+    if op is Op.VMCALL:
+        return f"vmcall {ins.simm12}"
+    if op is Op.CSRR:
+        return f"csrr {_reg(ins.rd)}, {_csr(ins.simm12)}"
+    if op is Op.CSRW:
+        return f"csrw {_csr(ins.simm12)}, {_reg(ins.ra)}"
+    if op is Op.OUT:
+        return f"out {ins.simm12:#x}, {_reg(ins.ra)}"
+    if op is Op.IN:
+        return f"in {_reg(ins.rd)}, {ins.simm12:#x}"
+    if op is Op.INVLPG:
+        return f"invlpg {_reg(ins.ra)}"
+    return op.name.lower()  # iret, hlt, sti, cli, brk
+
+
+def disassemble_one(data: bytes, offset: int = 0) -> Tuple[str, int]:
+    """Disassemble the instruction at ``offset``; return (text, length)."""
+    word = int.from_bytes(data[offset : offset + 4], "little")
+    imm_word = 0
+    if (word >> 24) & 0x80:
+        imm_word = int.from_bytes(data[offset + 4 : offset + 8], "little")
+    ins = decode(word, imm_word)
+    return format_instruction(ins), ins.length
+
+
+def disassemble(data: bytes, base: int = 0) -> List[str]:
+    """Disassemble a whole image; one "addr: text" line per instruction."""
+    lines: List[str] = []
+    offset = 0
+    while offset + 4 <= len(data):
+        try:
+            text, length = disassemble_one(data, offset)
+        except Exception:
+            word = int.from_bytes(data[offset : offset + 4], "little")
+            text, length = f".word {word:#010x}", 4
+        lines.append(f"{base + offset:#010x}: {text}")
+        offset += length
+    return lines

@@ -1,0 +1,58 @@
+"""VM exits: the control transfers from guest execution to the VMM.
+
+On real hardware these are defined by the virtualization extension
+(VT-x exit reasons / SVM exit codes); placing them in the CPU package
+mirrors that. The interpreter raises :class:`VMExit` at an exit point;
+the hypervisor run loop catches it, handles it, and re-enters.
+"""
+
+import enum
+from typing import Any, Dict, Optional
+
+
+class ExitReason(enum.Enum):
+    """Why the guest stopped running."""
+
+    PRIV_INSTR = "priv_instr"  # trapping privileged instruction
+    SENSITIVE = "sensitive"  # BT callout for a non-trapping sensitive op
+    CSR_WRITE = "csr_write"  # write to an intercepted CSR (e.g. PTBR)
+    IO_IN = "io_in"
+    IO_OUT = "io_out"
+    VMCALL = "vmcall"  # explicit hypercall
+    HLT = "hlt"
+    PAGE_FAULT = "page_fault"  # shadow fill or nested (EPT-style) violation
+    GUEST_TRAP = "guest_trap"  # trap that must be reflected into the guest
+    TRIPLE_FAULT = "triple_fault"
+    EXTERNAL_IRQ = "external_irq"  # host interrupt while guest running
+    PREEMPT = "preempt"  # scheduling quantum expired
+
+
+class VMExit(Exception):
+    """Raised inside guest execution to transfer control to the VMM.
+
+    ``qualification`` carries reason-specific detail (faulting address,
+    port number, CSR index, ...), mirroring the VMCS exit-qualification
+    field.
+    """
+
+    def __init__(
+        self,
+        reason: ExitReason,
+        guest_pc: int = 0,
+        instruction_length: int = 0,
+        **qualification: Any,
+    ):
+        super().__init__(reason.value)
+        self.reason = reason
+        self.guest_pc = guest_pc
+        self.instruction_length = instruction_length
+        self.qualification: Dict[str, Any] = qualification
+
+    def qual(self, key: str, default: Optional[Any] = None) -> Any:
+        return self.qualification.get(key, default)
+
+    def __repr__(self) -> str:
+        return (
+            f"<VMExit {self.reason.value} @ {self.guest_pc:#x} "
+            f"{self.qualification}>"
+        )

@@ -1,0 +1,89 @@
+"""MMU interface between the interpreter and the memory system.
+
+The CPU calls :meth:`MMUBase.translate` for every fetch, load, and
+store. Swapping the MMU object is how the hypervisor interposes on
+address translation:
+
+* :class:`BareMMU` -- native execution and hardware-assisted guests with
+  nested paging disabled: walks the tables named by PTBR directly.
+* ``ShadowMMU`` / ``NestedMMU`` (in :mod:`repro.core.shadow` and
+  :mod:`repro.core.nested`) -- virtualized translation.
+
+``translate`` returns ``(physical_address, extra_cycles)``; it raises
+:class:`repro.mem.paging.PageFault` for guest-visible faults and may
+raise :class:`repro.cpu.exits.VMExit` for faults the VMM must service.
+"""
+
+from typing import Tuple
+
+from repro.mem.costs import CostModel
+from repro.mem.paging import AccessType, PageTableWalker
+from repro.mem.physmem import PhysicalMemory
+from repro.mem.tlb import TLB
+from repro.util.units import PAGE_SHIFT
+
+
+class MMUBase:
+    """Abstract translation interface used by :class:`CPUCore`."""
+
+    def translate(self, va: int, access: AccessType, user: bool) -> Tuple[int, int]:
+        """Translate ``va``; return (pa, cycles). May raise PageFault/VMExit."""
+        raise NotImplementedError
+
+    def set_root(self, root_pa: int) -> None:
+        """Install a new page-table base (CSRW PTBR)."""
+        raise NotImplementedError
+
+    def invlpg(self, va: int) -> None:
+        """Invalidate one TLB entry (INVLPG)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Invalidate the whole TLB."""
+        raise NotImplementedError
+
+
+class BareMMU(MMUBase):
+    """Directly walks the page tables named by the current root.
+
+    This is "the hardware MMU": a TLB in front of a 2-level walker.
+    With ``paging_enabled`` False (reset state, before the kernel loads
+    PTBR) addresses pass through untranslated, which is how boot code
+    runs before enabling paging.
+    """
+
+    def __init__(
+        self,
+        physmem: PhysicalMemory,
+        costs: CostModel,
+        tlb_entries: int = 64,
+    ):
+        self.physmem = physmem
+        self.costs = costs
+        self.walker = PageTableWalker(physmem)
+        self.tlb = TLB(tlb_entries)
+        self.root_pa = 0
+        self.paging_enabled = False
+
+    def translate(self, va: int, access: AccessType, user: bool) -> Tuple[int, int]:
+        if not self.paging_enabled:
+            return va & 0xFFFFFFFF, 0
+        vpn = (va & 0xFFFFFFFF) >> PAGE_SHIFT
+        pte = self.tlb.lookup(vpn, access, user)
+        if pte is not None:
+            return (pte >> PAGE_SHIFT << PAGE_SHIFT) | (va & 0xFFF), self.costs.tlb_hit_cycles
+        result = self.walker.walk(self.root_pa, va, access, user)
+        self.tlb.insert(vpn, result.pte)
+        cycles = self.costs.tlb_hit_cycles + result.mem_refs * self.costs.mem_ref_cycles
+        return result.paddr, cycles
+
+    def set_root(self, root_pa: int) -> None:
+        self.root_pa = root_pa & ~0xFFF
+        self.paging_enabled = True
+        self.tlb.flush()
+
+    def invlpg(self, va: int) -> None:
+        self.tlb.invalidate((va & 0xFFFFFFFF) >> PAGE_SHIFT)
+
+    def flush(self) -> None:
+        self.tlb.flush()

@@ -1,0 +1,56 @@
+"""Device models.
+
+Two I/O virtualization styles are implemented for both the block device
+and the NIC, matching the comparison in experiment E4:
+
+* **Emulated (port-programmed) devices** -- the guest programs each
+  request through several port writes (sector, count, DMA address,
+  command), exactly like an IDE/NE2000-era device. Under a VMM every
+  port access is a VM exit.
+* **Virtio-style paravirtual devices** -- the guest posts descriptors
+  into a split ring living in guest memory and *kicks* the device with a
+  single port write per batch, so exits are amortized over the batch.
+
+Devices address guest memory through a small accessor protocol (``mem``
+with ``read_u32/write_u32/read_bytes/write_bytes``); natively that is
+the :class:`~repro.mem.physmem.PhysicalMemory` itself, inside a VM it is
+the VM's guest-physical view.
+"""
+
+from repro.devices.bus import PortBus, PortDevice
+from repro.devices.irq import InterruptController, IRQLine
+from repro.devices.timer import TimerDevice, TIMER_BASE
+from repro.devices.console import ConsoleDevice, CONSOLE_BASE
+from repro.devices.block import BlockDevice, BLOCK_BASE, SECTOR_SIZE
+from repro.devices.power import PowerControl, POWER_BASE
+from repro.devices.net import NetDevice, NET_BASE
+from repro.devices.virtio import (
+    VirtQueue,
+    VirtioBlockDevice,
+    VirtioNetDevice,
+    VIRTIO_BLK_BASE,
+    VIRTIO_NET_BASE,
+)
+
+__all__ = [
+    "PortBus",
+    "PortDevice",
+    "InterruptController",
+    "IRQLine",
+    "TimerDevice",
+    "TIMER_BASE",
+    "ConsoleDevice",
+    "CONSOLE_BASE",
+    "BlockDevice",
+    "BLOCK_BASE",
+    "SECTOR_SIZE",
+    "PowerControl",
+    "POWER_BASE",
+    "NetDevice",
+    "NET_BASE",
+    "VirtQueue",
+    "VirtioBlockDevice",
+    "VirtioNetDevice",
+    "VIRTIO_BLK_BASE",
+    "VIRTIO_NET_BASE",
+]

@@ -1,0 +1,64 @@
+"""Port-mapped I/O bus.
+
+Devices claim port ranges; the bus routes IN/OUT accesses. The CPU (or
+the VMM's I/O exit handler) calls :meth:`PortBus.io_in` /
+:meth:`PortBus.io_out`.
+"""
+
+from typing import Dict, Optional
+
+from repro.util.errors import DeviceError
+
+
+class PortDevice:
+    """Base class for port-programmed devices."""
+
+    def port_read(self, port: int) -> int:
+        """Handle IN from ``port`` (absolute port number)."""
+        raise DeviceError(f"{type(self).__name__} has no readable port {port:#x}")
+
+    def port_write(self, port: int, value: int) -> None:
+        """Handle OUT to ``port`` (absolute port number)."""
+        raise DeviceError(f"{type(self).__name__} has no writable port {port:#x}")
+
+
+class PortBus:
+    """Routes port accesses to registered devices."""
+
+    def __init__(self, strict: bool = False):
+        #: strict=True raises on unclaimed ports; False returns 0 /
+        #: discards, like real hardware's open bus.
+        self.strict = strict
+        self._ports: Dict[int, PortDevice] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def register(self, device: PortDevice, base: int, count: int) -> None:
+        """Claim ports [base, base+count) for ``device``."""
+        if count <= 0:
+            raise DeviceError("port range must be non-empty")
+        for port in range(base, base + count):
+            if port in self._ports:
+                raise DeviceError(f"port {port:#x} already claimed")
+            self._ports[port] = device
+
+    def device_at(self, port: int) -> Optional[PortDevice]:
+        return self._ports.get(port)
+
+    def io_in(self, port: int) -> int:
+        self.reads += 1
+        device = self._ports.get(port)
+        if device is None:
+            if self.strict:
+                raise DeviceError(f"IN from unclaimed port {port:#x}")
+            return 0
+        return device.port_read(port) & 0xFFFFFFFF
+
+    def io_out(self, port: int, value: int) -> None:
+        self.writes += 1
+        device = self._ports.get(port)
+        if device is None:
+            if self.strict:
+                raise DeviceError(f"OUT to unclaimed port {port:#x}")
+            return
+        device.port_write(port, value & 0xFFFFFFFF)

@@ -1,0 +1,45 @@
+"""Serial console: the guest's printf path.
+
+Ports::
+
+    CONS_TX     (base+0): write one character (low byte)
+    CONS_STATUS (base+1): read 1 (always ready)
+"""
+
+from repro.devices.bus import PortDevice
+from repro.util.errors import DeviceError
+
+CONSOLE_BASE = 0x10
+CONS_TX = CONSOLE_BASE
+CONS_STATUS = CONSOLE_BASE + 1
+
+
+class ConsoleDevice(PortDevice):
+    """Write-only character console with a capture buffer."""
+
+    def __init__(self, capacity: int = 1 << 20):
+        self._chars = []
+        self.capacity = capacity
+        self.chars_written = 0
+
+    @property
+    def text(self) -> str:
+        return "".join(self._chars)
+
+    def lines(self):
+        return self.text.splitlines()
+
+    def clear(self) -> None:
+        self._chars = []
+
+    def port_read(self, port: int) -> int:
+        if port == CONS_STATUS:
+            return 1
+        raise DeviceError(f"console has no readable port {port:#x}")
+
+    def port_write(self, port: int, value: int) -> None:
+        if port != CONS_TX:
+            raise DeviceError(f"console has no writable port {port:#x}")
+        self.chars_written += 1
+        if len(self._chars) < self.capacity:
+            self._chars.append(chr(value & 0xFF))

@@ -1,0 +1,91 @@
+"""Interrupt controller (a minimal PIC).
+
+Devices raise numbered lines; the controller coalesces them into the
+CPU's two architectural interrupt causes (line 0 is the timer, all
+others are "device") and exposes a status port so the kernel's
+interrupt handler can find out *which* device interrupted.
+
+The ``sink`` is whoever receives the coalesced interrupt: natively the
+CPU core (via ``assert_irq``), inside a VM the VMM's virtual-interrupt
+queue. It must provide ``assert_irq(cause)``.
+"""
+
+from typing import List, Optional
+
+from repro.cpu.isa import Cause
+from repro.devices.bus import PortDevice
+from repro.util.errors import DeviceError
+
+#: Port: read = bitmask of pending lines; write = acknowledge (clear) mask.
+PIC_BASE = 0x20
+PIC_STATUS = PIC_BASE
+
+NUM_LINES = 16
+
+#: Well-known line assignments.
+IRQ_TIMER_LINE = 0
+IRQ_BLOCK_LINE = 1
+IRQ_NET_LINE = 2
+IRQ_VIRTIO_BLK_LINE = 3
+IRQ_VIRTIO_NET_LINE = 4
+
+
+class IRQLine:
+    """Handle a device uses to raise its interrupt line."""
+
+    def __init__(self, controller: "InterruptController", line: int):
+        self.controller = controller
+        self.line = line
+
+    def raise_(self) -> None:
+        self.controller.raise_line(self.line)
+
+
+class InterruptController(PortDevice):
+    """16-line level-ish interrupt controller."""
+
+    def __init__(self, sink=None):
+        self.sink = sink
+        self.pending: List[bool] = [False] * NUM_LINES
+        self.raised_count = 0
+
+    def line(self, number: int) -> IRQLine:
+        if not 0 <= number < NUM_LINES:
+            raise DeviceError(f"no IRQ line {number}")
+        return IRQLine(self, number)
+
+    def raise_line(self, number: int) -> None:
+        if not 0 <= number < NUM_LINES:
+            raise DeviceError(f"no IRQ line {number}")
+        self.pending[number] = True
+        self.raised_count += 1
+        if self.sink is not None:
+            cause = Cause.IRQ_TIMER if number == IRQ_TIMER_LINE else Cause.IRQ_DEVICE
+            self.sink.assert_irq(cause)
+
+    def pending_mask(self) -> int:
+        mask = 0
+        for i, p in enumerate(self.pending):
+            if p:
+                mask |= 1 << i
+        return mask
+
+    def highest_pending(self) -> Optional[int]:
+        for i, p in enumerate(self.pending):
+            if p:
+                return i
+        return None
+
+    # -- port interface (read status, write-1-to-acknowledge) ----------------
+
+    def port_read(self, port: int) -> int:
+        if port != PIC_STATUS:
+            raise DeviceError(f"PIC has no port {port:#x}")
+        return self.pending_mask()
+
+    def port_write(self, port: int, value: int) -> None:
+        if port != PIC_STATUS:
+            raise DeviceError(f"PIC has no port {port:#x}")
+        for i in range(NUM_LINES):
+            if value & (1 << i):
+                self.pending[i] = False

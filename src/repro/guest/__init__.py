@@ -1,0 +1,49 @@
+"""NanoOS: the from-scratch guest operating system.
+
+NanoOS is a complete (if small) kernel written in VISA assembly. It
+
+* boots in kernel mode with paging off, builds 2-level page tables,
+  installs its trap vector, and enables paging;
+* runs correctness probes for the sensitive non-trapping instructions
+  (the Popek-Goldberg violation detector of experiment E1);
+* programs the interval timer and handles timer/device interrupts;
+* demand-pages a user heap region (page faults map fresh frames);
+* drops to user mode and runs a workload program that communicates
+  through a syscall interface (exit, putc, yield, map/unmap, block and
+  network I/O through both emulated and virtio drivers);
+* reports everything through a diagnostic page the host reads back.
+
+Two builds share one source template:
+
+* **HVM** -- uses privileged instructions (CSRW, IRET, INVLPG, OUT/IN)
+  exactly like an unmodified OS; runs native, trap-and-emulate,
+  binary-translation, or hardware-assisted.
+* **PV**  -- paravirtualized: privileged operations become hypercalls,
+  page-table updates go through batched ``MMU_BATCH`` hypercalls, and
+  the virtual IE / trap cause block is read from the shared-info page
+  with plain loads (zero exits).
+"""
+
+from repro.guest.layout import GuestLayout, DiagField
+from repro.guest.kernel import build_kernel, KernelOptions
+from repro.guest import workloads
+from repro.guest.loader import (
+    boot_native,
+    boot_vm,
+    read_diag,
+    DiagReport,
+    MIN_GUEST_MEMORY,
+)
+
+__all__ = [
+    "GuestLayout",
+    "DiagField",
+    "build_kernel",
+    "KernelOptions",
+    "workloads",
+    "boot_native",
+    "boot_vm",
+    "read_diag",
+    "DiagReport",
+    "MIN_GUEST_MEMORY",
+]

@@ -1,0 +1,108 @@
+"""NanoOS physical/virtual memory layout.
+
+NanoOS identity-maps everything it owns (VA == guest-PA) except the
+demand-paged user heap, which is a VA-only region backed by frames from
+the kernel's pool (the pool itself is never mapped -- the kernel only
+hands its frame addresses to the mapper). Identity mapping keeps the
+assembly single-origin while still exercising every paging mechanism.
+
+Map::
+
+    0x0000_0000 .. 0x0001_0000   kernel image, stacks, diag/save pages
+    0x0010_0000 .. 0x0018_0000   page directory + page-table bump region
+    0x0020_0000 .. 0x0021_0000   user program (user RW)
+    0x0027_0000 .. 0x0028_0000   user stack (user RW)
+    0x0028_0000 .. 0x0028_2000   virtio rings (kernel RW)
+    0x0029_0000 .. 0x002A_0000   DMA buffers (kernel RW)
+    0x0030_0000 .. 0x0070_0000   frame pool (NOT mapped; 1024 frames)
+    0x0070_0000 .. 0x00F0_0000   user heap (VA only, demand paged)
+    top page                     PV shared-info page
+"""
+
+import enum
+
+from repro.util.units import MIB, PAGE_SIZE
+
+
+class GuestLayout:
+    """Addresses shared between the kernel template and the host tooling."""
+
+    # Kernel image.
+    KERNEL_BASE = 0x0000_1000
+    KERNEL_STACK_TOP = 0x0000_8000  # one page below DIAG
+
+    # Diagnostic page, read back by the host after a run.
+    DIAG = 0x0000_9000
+    # Trap-time register save area (+ kernel bump-pointer words).
+    SAVE = 0x0000_A000
+    PT_BUMP_PTR = 0x0000_A800
+    POOL_PTR = 0x0000_A804
+    # PV batch cursor and a scratch slot for nested call returns.
+    BATCH_CUR = 0x0000_A808
+    LR_SAVE = 0x0000_A80C
+    # PV page-table-update batch buffer (u32 pairs).
+    BATCH_BUF = 0x0000_B000
+    KERNEL_LOW_END = 0x0001_0000
+
+    # Page directory and the page-table bump region.
+    PD_BASE = 0x0010_0000
+    PT_BUMP_START = 0x0010_1000
+    PT_BUMP_END = 0x0018_0000
+
+    # User program (identity-mapped, user-accessible).
+    USER_BASE = 0x0020_0000
+    USER_END = 0x0021_0000
+    # User stack.
+    USER_STACK_LOW = 0x0027_0000
+    USER_STACK_TOP = 0x0028_0000
+
+    # Virtio rings: blk queue page and net tx queue page.
+    VQ_DESC = 0x0028_0000
+    VQ_AVAIL = 0x0028_0100
+    VQ_USED = 0x0028_0200
+    VQ_HDRS = 0x0028_0300
+    VQ_STATUS = 0x0028_0400
+    VQ_NET_DESC = 0x0028_1000
+    VQ_NET_AVAIL = 0x0028_1100
+    VQ_NET_USED = 0x0028_1200
+    VQ_END = 0x0028_2000
+    QUEUE_SIZE = 16
+
+    # DMA buffers.
+    DMA_BUF = 0x0029_0000
+    DMA_END = 0x002A_0000
+
+    # Frame pool for demand paging (bump-allocated, deliberately unmapped).
+    POOL_START = 0x0030_0000
+    POOL_END = 0x0070_0000  # 1024 frames
+
+    # Demand-paged user heap (VA-only region, up to 2048 pages).
+    HEAP_BASE = 0x0070_0000
+    HEAP_END = 0x00F0_0000
+
+    #: Minimum guest memory for this layout (shared-info page above it).
+    MIN_MEMORY = 16 * MIB
+
+    @staticmethod
+    def shared_info_gpa(memory_bytes: int) -> int:
+        """gPA of the PV shared-info page (top page of guest RAM)."""
+        return memory_bytes - PAGE_SIZE
+
+
+class DiagField(enum.IntEnum):
+    """Byte offsets into the diagnostic page."""
+
+    MAGIC = 0  # 0x4F4E414E ("NANO") once the kernel booted
+    BOOT_OK = 4  # 1 after paging + vectors are up
+    MODE_OK = 8  # 1 = CSRR MODE returned kernel, 0 = violation, 2 = n/a
+    IE_OK = 12  # 1 = STI then CSRR IE returned 1, 0 = violation, 2 = n/a
+    TICKS = 16  # timer interrupts observed
+    SYSCALLS = 20  # syscalls handled
+    USER_RESULT = 24  # a0 passed to SYS_EXIT
+    FAULT_CAUSE = 28  # nonzero = killed by an unexpected trap
+    DEMAND_FAULTS = 32  # heap pages mapped on demand
+    DEVICE_IRQS = 36  # device interrupts observed
+    USER_DATA = 64  # workload-private scratch starts here
+
+
+DIAG_MAGIC = 0x4F4E414E  # "NANO" little-endian

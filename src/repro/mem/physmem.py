@@ -1,0 +1,156 @@
+"""Byte-addressable physical memory and the frame allocator."""
+
+import struct
+from typing import List, Optional
+
+from repro.util.errors import MemoryError_
+from repro.util.units import PAGE_SHIFT, PAGE_SIZE
+
+_U32 = struct.Struct("<I")
+
+
+class PhysicalMemory:
+    """A flat physical address space backed by one ``bytearray``.
+
+    All accessors bounds-check and raise :class:`MemoryError_` on
+    out-of-range addresses -- a guest must never be able to corrupt the
+    simulator by wandering off the end of RAM.
+    """
+
+    def __init__(self, nbytes: int):
+        if nbytes <= 0 or nbytes % PAGE_SIZE != 0:
+            raise MemoryError_(
+                f"physical memory size must be a positive multiple of "
+                f"{PAGE_SIZE}, got {nbytes}"
+            )
+        self.size = nbytes
+        self.num_frames = nbytes >> PAGE_SHIFT
+        self._data = bytearray(nbytes)
+
+    # -- scalar access ----------------------------------------------------
+
+    def read_u8(self, pa: int) -> int:
+        self._check(pa, 1)
+        return self._data[pa]
+
+    def write_u8(self, pa: int, value: int) -> None:
+        self._check(pa, 1)
+        self._data[pa] = value & 0xFF
+
+    def read_u32(self, pa: int) -> int:
+        self._check(pa, 4)
+        return _U32.unpack_from(self._data, pa)[0]
+
+    def write_u32(self, pa: int, value: int) -> None:
+        self._check(pa, 4)
+        _U32.pack_into(self._data, pa, value & 0xFFFFFFFF)
+
+    # -- bulk access --------------------------------------------------------
+
+    def read_bytes(self, pa: int, length: int) -> bytes:
+        self._check(pa, length)
+        return bytes(self._data[pa : pa + length])
+
+    def write_bytes(self, pa: int, data: bytes) -> None:
+        self._check(pa, len(data))
+        self._data[pa : pa + len(data)] = data
+
+    def read_frame(self, pfn: int) -> bytes:
+        return self.read_bytes(pfn << PAGE_SHIFT, PAGE_SIZE)
+
+    def write_frame(self, pfn: int, data: bytes) -> None:
+        if len(data) != PAGE_SIZE:
+            raise MemoryError_(f"frame write needs {PAGE_SIZE} bytes, got {len(data)}")
+        self.write_bytes(pfn << PAGE_SHIFT, data)
+
+    def zero_frame(self, pfn: int) -> None:
+        base = pfn << PAGE_SHIFT
+        self._check(base, PAGE_SIZE)
+        self._data[base : base + PAGE_SIZE] = b"\x00" * PAGE_SIZE
+
+    def frame_fingerprint(self, pfn: int) -> int:
+        """Cheap content hash of one frame (used by the sharing scanner)."""
+        base = pfn << PAGE_SHIFT
+        self._check(base, PAGE_SIZE)
+        return hash(bytes(self._data[base : base + PAGE_SIZE]))
+
+    def _check(self, pa: int, length: int) -> None:
+        if pa < 0 or pa + length > self.size:
+            raise MemoryError_(
+                f"physical access [{pa:#x}, {pa + length:#x}) outside "
+                f"RAM of {self.size:#x} bytes"
+            )
+
+
+class FrameAllocator:
+    """Free-list allocator over a :class:`PhysicalMemory`.
+
+    Frames below ``reserved_frames`` are never handed out (firmware /
+    VMM-owned low memory). Supports single-frame alloc/free and
+    contiguous runs (for kernel images loaded at fixed physical bases).
+    """
+
+    def __init__(self, physmem: PhysicalMemory, reserved_frames: int = 0):
+        if reserved_frames < 0 or reserved_frames > physmem.num_frames:
+            raise MemoryError_(
+                f"reserved_frames {reserved_frames} out of range "
+                f"(0..{physmem.num_frames})"
+            )
+        self.physmem = physmem
+        self.reserved_frames = reserved_frames
+        self._free: List[int] = list(range(physmem.num_frames - 1, reserved_frames - 1, -1))
+        self._allocated = set()
+
+    @property
+    def free_frames(self) -> int:
+        return len(self._free)
+
+    @property
+    def allocated_frames(self) -> int:
+        return len(self._allocated)
+
+    def alloc(self, zero: bool = True) -> int:
+        """Allocate one frame; returns its PFN."""
+        if not self._free:
+            raise MemoryError_("out of physical frames")
+        pfn = self._free.pop()
+        self._allocated.add(pfn)
+        if zero:
+            self.physmem.zero_frame(pfn)
+        return pfn
+
+    def alloc_contiguous(self, count: int, zero: bool = True) -> int:
+        """Allocate ``count`` physically contiguous frames; returns first PFN.
+
+        Linear scan over the free set -- fine at simulator scale, and only
+        used at boot time for kernel images.
+        """
+        if count <= 0:
+            raise MemoryError_("contiguous allocation needs count >= 1")
+        free = set(self._free)
+        candidates = sorted(free)
+        run_start: Optional[int] = None
+        run_len = 0
+        for pfn in candidates:
+            if run_start is not None and pfn == run_start + run_len:
+                run_len += 1
+            else:
+                run_start, run_len = pfn, 1
+            if run_len == count:
+                first = run_start
+                for p in range(first, first + count):
+                    self._free.remove(p)
+                    self._allocated.add(p)
+                    if zero:
+                        self.physmem.zero_frame(p)
+                return first
+        raise MemoryError_(f"no contiguous run of {count} frames available")
+
+    def free(self, pfn: int) -> None:
+        if pfn not in self._allocated:
+            raise MemoryError_(f"double free or foreign frame {pfn}")
+        self._allocated.remove(pfn)
+        self._free.append(pfn)
+
+    def is_allocated(self, pfn: int) -> bool:
+        return pfn in self._allocated

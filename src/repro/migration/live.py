@@ -1,0 +1,228 @@
+"""Functional live migration of instruction-engine VMs.
+
+This is real pre-copy over real state: dirty logging uses the shadow /
+EPT write-protection machinery (CPU stores) plus the guest-memory write
+hook (VMM-mediated writes: PT updates, hypercall batches, device DMA),
+rounds interleave with actual guest execution, and the destination VM
+resumes from copied vCPU + device state. Transfer *timing* is modeled
+(cycles per byte); transfer *content* is exact.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.core.hypervisor import Hypervisor, RunOutcome
+from repro.core.modes import MMUVirtMode
+from repro.core.nested import NestedMMU
+from repro.core.shadow import ShadowMMU
+from repro.core.vm import GuestConfig, VirtualMachine
+from repro.util.errors import MigrationError
+from repro.util.units import PAGE_SIZE
+
+#: Serialized vCPU + device state, charged to downtime.
+CPU_STATE_BYTES = 4096
+
+
+@dataclass
+class LiveMigrationResult:
+    """Outcome of one functional migration."""
+
+    dest_vm: VirtualMachine
+    rounds: int
+    pages_copied: int
+    final_round_pages: int
+    downtime_cycles: int
+    total_transfer_cycles: int
+    guest_instructions_during: int
+    round_sizes: List[int] = field(default_factory=list)
+    source_outcome: Optional[RunOutcome] = None
+
+
+class LiveMigrator:
+    """Pre-copy migrator between two hypervisors."""
+
+    def __init__(
+        self,
+        source: Hypervisor,
+        destination: Hypervisor,
+        bytes_per_cycle: float = 1.0,
+    ):
+        if bytes_per_cycle <= 0:
+            raise MigrationError("bytes_per_cycle must be positive")
+        self.source = source
+        self.destination = destination
+        self.bytes_per_cycle = bytes_per_cycle
+
+    def migrate(
+        self,
+        vm: VirtualMachine,
+        dest_name: Optional[str] = None,
+        quantum_instructions: int = 20000,
+        max_rounds: int = 12,
+        threshold_pages: int = 8,
+    ) -> LiveMigrationResult:
+        """Migrate ``vm``; returns the (paused) destination VM.
+
+        The source VM keeps executing between copy rounds, exactly as in
+        real pre-copy; call ``destination.run(result.dest_vm)`` to
+        continue the guest on the target host.
+        """
+        src = self.source
+        vcpu = vm.vcpus[0]
+        mmu = vcpu.cpu.mmu
+        config = vm.config
+
+        dest_config = GuestConfig(
+            name=dest_name or f"{vm.name}-dst",
+            memory_bytes=config.memory_bytes,
+            virt_mode=config.virt_mode,
+            mmu_mode=config.mmu_mode,
+            tlb_entries=config.tlb_entries,
+            prealloc=True,
+            with_virtio=config.with_virtio,
+            with_emulated_io=config.with_emulated_io,
+        )
+        dst_vm = self.destination.create_vm(dest_config)
+
+        dirty: Set[int] = set()
+        src.dirty_handlers[vm.name] = lambda _vm, gfn: dirty.add(gfn)
+        old_hook = vm.guest_mem.write_hook
+        vm.guest_mem.write_hook = dirty.add
+
+        def protect(gfns):
+            for gfn in gfns:
+                if vm.guest_mem.is_mapped(gfn):
+                    mmu.write_protect_gfn(gfn)
+            mmu.flush()
+
+        all_gfns = sorted(vm.guest_mem.map)
+        protect(all_gfns)
+
+        transfer_cycles = 0
+        pages_copied = 0
+        round_sizes: List[int] = []
+        instructions_before = vcpu.cpu.instret
+        source_outcome = None
+
+        # Round 0: full copy while logging.
+        for gfn in all_gfns:
+            dst_vm.guest_mem.write_gfn(gfn, vm.guest_mem.read_gfn(gfn))
+        transfer_cycles += self._cycles(len(all_gfns) * PAGE_SIZE)
+        pages_copied += len(all_gfns)
+        round_sizes.append(len(all_gfns))
+        rounds = 1
+
+        while rounds < max_rounds:
+            dirty.clear()
+            source_outcome = src.run(
+                vm, max_guest_instructions=quantum_instructions
+            )
+            if source_outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED):
+                break  # guest finished/idle: nothing more will dirty
+            if len(dirty) <= threshold_pages:
+                break
+            batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
+            for gfn in batch:
+                dst_vm.guest_mem.write_gfn(gfn, vm.guest_mem.read_gfn(gfn))
+            transfer_cycles += self._cycles(len(batch) * PAGE_SIZE)
+            pages_copied += len(batch)
+            round_sizes.append(len(batch))
+            protect(batch)
+            rounds += 1
+
+        # Stop-and-copy the residue plus machine state: the downtime.
+        final_batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
+        for gfn in final_batch:
+            dst_vm.guest_mem.write_gfn(gfn, vm.guest_mem.read_gfn(gfn))
+        downtime = self._cycles(len(final_batch) * PAGE_SIZE + CPU_STATE_BYTES)
+        transfer_cycles += downtime
+        pages_copied += len(final_batch)
+        round_sizes.append(len(final_batch))
+
+        self._copy_vcpu(vm, dst_vm)
+        self._copy_devices(vm, dst_vm)
+        dst_vm.pending_virqs = set(vm.pending_virqs)
+        dst_vm.ballooned_gfns = set(vm.ballooned_gfns)
+
+        # Detach logging from the (now dead) source.
+        src.dirty_handlers.pop(vm.name, None)
+        vm.guest_mem.write_hook = old_hook
+
+        return LiveMigrationResult(
+            dest_vm=dst_vm,
+            rounds=rounds,
+            pages_copied=pages_copied,
+            final_round_pages=len(final_batch),
+            downtime_cycles=downtime,
+            total_transfer_cycles=transfer_cycles,
+            guest_instructions_during=vcpu.cpu.instret - instructions_before,
+            round_sizes=round_sizes,
+            source_outcome=source_outcome,
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _cycles(self, nbytes: int) -> int:
+        return int(nbytes / self.bytes_per_cycle)
+
+    def _copy_vcpu(self, src_vm: VirtualMachine, dst_vm: VirtualMachine) -> None:
+        s, d = src_vm.vcpus[0], dst_vm.vcpus[0]
+        d.cpu.regs = list(s.cpu.regs)
+        d.cpu.pc = s.cpu.pc
+        d.cpu.csr = list(s.cpu.csr)
+        d.cpu.cycles = s.cpu.cycles
+        d.cpu.instret = s.cpu.instret
+        d.cpu.pending_irqs = set(s.cpu.pending_irqs)
+        d.cpu.halted = s.cpu.halted
+        d.vcsr = list(s.vcsr)
+        d.halted = s.halted
+        d.incorrectness_observed = s.incorrectness_observed
+
+        # Rebuild translation structures on the destination from the
+        # migrated guest root (shadows/EPT mappings are host-local).
+        mmu = d.cpu.mmu
+        if isinstance(mmu, ShadowMMU):
+            root = d.vcsr[1] if src_vm.config.mmu_mode is MMUVirtMode.SHADOW else 0
+            if src_vm.config.virt_mode.value == "hw_assist":
+                root = d.cpu.csr[1]
+            if root:
+                mmu.switch_guest_root(root)
+                mmu.set_view(kernel=not d.virtual_user)
+        elif isinstance(mmu, NestedMMU):
+            if d.cpu.csr[1]:
+                mmu.set_root(d.cpu.csr[1])
+
+    def _copy_devices(self, src_vm: VirtualMachine, dst_vm: VirtualMachine) -> None:
+        # Console: preserve everything printed so far.
+        dst_vm.devices["console"]._chars = list(src_vm.devices["console"]._chars)
+        dst_vm.devices["console"].chars_written = src_vm.devices["console"].chars_written
+
+        st, dt = src_vm.devices["timer"], dst_vm.devices["timer"]
+        dt.period, dt.mode = st.period, st.mode
+        dt.expirations = st.expirations
+        dt.deadline = st.deadline  # cycles are migrated with the vCPU
+
+        sp, dp = src_vm.devices["power"], dst_vm.devices["power"]
+        dp.shutdown_requested, dp.code = sp.shutdown_requested, sp.code
+
+        dst_vm.pic.pending = list(src_vm.pic.pending)
+
+        if "block" in src_vm.devices and "block" in dst_vm.devices:
+            sb, db = src_vm.devices["block"], dst_vm.devices["block"]
+            db.data[:] = sb.data
+            db._sector, db._count, db._dma = sb._sector, sb._count, sb._dma
+            db.status = sb.status
+        if "virtio_blk" in src_vm.devices and "virtio_blk" in dst_vm.devices:
+            sb, db = src_vm.devices["virtio_blk"], dst_vm.devices["virtio_blk"]
+            db.data[:] = sb.data
+            for attr in ("desc_gpa", "avail_gpa", "used_gpa", "size",
+                         "last_avail_idx"):
+                setattr(db.queue, attr, getattr(sb.queue, attr))
+        if "virtio_net" in src_vm.devices and "virtio_net" in dst_vm.devices:
+            sn, dn = src_vm.devices["virtio_net"], dst_vm.devices["virtio_net"]
+            for side in ("tx", "rx"):
+                sq = getattr(sn, side).queue
+                dq = getattr(dn, side).queue
+                for attr in ("desc_gpa", "avail_gpa", "used_gpa", "size",
+                             "last_avail_idx"):
+                    setattr(dq, attr, getattr(sq, attr))

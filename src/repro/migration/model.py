@@ -1,0 +1,234 @@
+"""Discrete-event migration models (the E6 curve generator).
+
+Dirty-page behaviour uses the standard two-class writable-working-set
+model: a *hot* set of ``hot_fraction * pages`` pages receives
+``hot_write_fraction`` of all page writes; the rest spread over the
+cold pages. The number of **unique** pages dirtied in an interval t
+with class write rate w over n pages is ``n * (1 - exp(-w t / n))`` --
+re-dirtying a hot page is free, which is exactly why pre-copy converges
+for moderate dirty rates and blows up when the dirty rate approaches
+the link's page rate (Clark et al., NSDI'05).
+"""
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional
+
+from repro.sim.kernel import SEC, Simulator
+from repro.sim.link import NetworkLink
+from repro.util.errors import MigrationError
+from repro.util.units import KIB, PAGE_SIZE
+
+
+class PreCopyStopPolicy(enum.Enum):
+    """When pre-copy gives up iterating and takes the downtime hit."""
+
+    THRESHOLD = "threshold"  # residual dirty set below a page threshold
+    MAX_ROUNDS = "max_rounds"  # fixed round budget
+    DIMINISHING = "diminishing"  # stop when a round shrinks < 10 %
+
+
+@dataclass
+class MigrationConfig:
+    """Workload + platform parameters for one migration."""
+
+    vm_pages: int = 131072  # 512 MiB
+    dirty_rate_pps: float = 5000.0  # page writes per second
+    hot_fraction: float = 0.1  # fraction of pages in the hot set
+    hot_write_fraction: float = 0.9  # fraction of writes to the hot set
+    cpu_state_bytes: int = 64 * KIB
+    max_rounds: int = 30
+    threshold_pages: int = 64
+    stop_policy: PreCopyStopPolicy = PreCopyStopPolicy.THRESHOLD
+    #: Post-copy: guest page-touch rate while degraded (first touches).
+    touch_rate_pps: float = 20000.0
+
+    def validate(self) -> None:
+        if self.vm_pages <= 0:
+            raise MigrationError("vm_pages must be positive")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise MigrationError("hot_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_write_fraction <= 1.0:
+            raise MigrationError("hot_write_fraction must be in [0, 1]")
+        if self.dirty_rate_pps < 0:
+            raise MigrationError("dirty rate must be non-negative")
+
+
+@dataclass
+class MigrationResult:
+    """What E6 plots."""
+
+    technique: str
+    total_time_us: int
+    downtime_us: int
+    pages_sent: int
+    rounds: int
+    #: Post-copy: remote faults taken, and how long the guest ran degraded.
+    remote_faults: int = 0
+    degraded_time_us: int = 0
+    converged: bool = True
+    round_sizes: List[int] = field(default_factory=list)
+
+
+def unique_pages_dirtied(cfg: MigrationConfig, interval_us: int) -> int:
+    """Unique pages dirtied in an interval under the hot/cold model."""
+    if interval_us <= 0 or cfg.dirty_rate_pps == 0:
+        return 0
+    t = interval_us / SEC
+    hot_pages = max(1, int(cfg.vm_pages * cfg.hot_fraction))
+    cold_pages = max(1, cfg.vm_pages - hot_pages)
+    hot_rate = cfg.dirty_rate_pps * cfg.hot_write_fraction
+    cold_rate = cfg.dirty_rate_pps * (1.0 - cfg.hot_write_fraction)
+    unique_hot = hot_pages * (1.0 - math.exp(-hot_rate * t / hot_pages))
+    unique_cold = cold_pages * (1.0 - math.exp(-cold_rate * t / cold_pages))
+    return min(cfg.vm_pages, int(round(unique_hot + unique_cold)))
+
+
+def _run(sim: Simulator, gen: Generator) -> MigrationResult:
+    proc = sim.spawn(gen, name="migration")
+    return sim.run_until_process(proc)
+
+
+def simulate_precopy(
+    cfg: MigrationConfig,
+    link: NetworkLink,
+    sim: Optional[Simulator] = None,
+) -> MigrationResult:
+    """Iterative pre-copy: rounds of (transfer, re-dirty) then stop-copy."""
+    cfg.validate()
+    if sim is None:
+        sim = link.sim
+
+    def process():
+        start = sim.now
+        to_send = cfg.vm_pages
+        pages_sent = 0
+        rounds = 0
+        round_sizes = []
+        converged = True
+        while True:
+            result = yield from link.transfer(to_send * PAGE_SIZE)
+            pages_sent += to_send
+            rounds += 1
+            round_sizes.append(to_send)
+            dirtied = unique_pages_dirtied(cfg, result.duration)
+            stop = False
+            if cfg.stop_policy is PreCopyStopPolicy.THRESHOLD:
+                stop = dirtied <= cfg.threshold_pages
+            elif cfg.stop_policy is PreCopyStopPolicy.DIMINISHING:
+                stop = dirtied <= cfg.threshold_pages or dirtied > 0.9 * to_send
+            if rounds >= cfg.max_rounds:
+                stop = True
+                converged = dirtied <= cfg.threshold_pages
+            if cfg.stop_policy is PreCopyStopPolicy.DIMINISHING and dirtied > 0.9 * to_send and rounds > 1:
+                converged = dirtied <= cfg.threshold_pages
+            if stop:
+                # Stop the VM, ship the residue plus the CPU state.
+                down = yield from link.transfer(
+                    dirtied * PAGE_SIZE + cfg.cpu_state_bytes
+                )
+                pages_sent += dirtied
+                round_sizes.append(dirtied)
+                return MigrationResult(
+                    technique="precopy",
+                    total_time_us=sim.now - start,
+                    downtime_us=down.duration,
+                    pages_sent=pages_sent,
+                    rounds=rounds,
+                    converged=converged,
+                    round_sizes=round_sizes,
+                )
+            to_send = dirtied
+
+    return _run(sim, process())
+
+
+def simulate_postcopy(
+    cfg: MigrationConfig,
+    link: NetworkLink,
+    sim: Optional[Simulator] = None,
+) -> MigrationResult:
+    """Post-copy: ship CPU state, resume remotely, push + demand-fetch.
+
+    Degradation model: pages are background-pushed in (effectively)
+    random order over the push window T. A first guest touch of a page
+    not yet pushed takes a remote fault (round trip + one page). The
+    expected number of such faults integrates first-touch arrivals
+    against the push progress; hot pages (touched early and often)
+    dominate. Faults are served with link priority, extending the push
+    window accordingly.
+    """
+    cfg.validate()
+    if sim is None:
+        sim = link.sim
+
+    def process():
+        start = sim.now
+        # Downtime: only the CPU/device state ships while paused.
+        down = yield from link.transfer(cfg.cpu_state_bytes)
+
+        push_time = link.transmission_time(cfg.vm_pages * PAGE_SIZE)
+        # Expected remote faults: E = sum over pages of
+        # P(first touch before push arrival). With touch rate lambda_p
+        # per page and uniform push arrival in [0, T]:
+        #   P = (1 - (1 - exp(-l T)) / (l T))   per page.
+        hot_pages = max(1, int(cfg.vm_pages * cfg.hot_fraction))
+        cold_pages = max(1, cfg.vm_pages - hot_pages)
+        t_sec = push_time / SEC
+        faults = 0.0
+        for pages, share in (
+            (hot_pages, cfg.hot_write_fraction),
+            (cold_pages, 1.0 - cfg.hot_write_fraction),
+        ):
+            lam = cfg.touch_rate_pps * share / pages  # per-page touch rate
+            if lam <= 0 or t_sec <= 0:
+                continue
+            lt = lam * t_sec
+            p_fault = 1.0 - (1.0 - math.exp(-lt)) / lt
+            faults += pages * p_fault
+        remote_faults = int(round(faults))
+
+        # Fault service competes with the push stream: each remote fault
+        # costs a round trip plus a page; faults extend the total window.
+        fault_bytes = remote_faults * PAGE_SIZE
+        fault_latency_us = remote_faults * 2 * link.latency
+        result = yield from link.transfer(cfg.vm_pages * PAGE_SIZE + fault_bytes)
+        degraded = result.duration + fault_latency_us
+        return MigrationResult(
+            technique="postcopy",
+            total_time_us=sim.now - start + fault_latency_us,
+            downtime_us=down.duration,
+            pages_sent=cfg.vm_pages + remote_faults,
+            rounds=1,
+            remote_faults=remote_faults,
+            degraded_time_us=degraded,
+        )
+
+    return _run(sim, process())
+
+
+def simulate_stop_and_copy(
+    cfg: MigrationConfig,
+    link: NetworkLink,
+    sim: Optional[Simulator] = None,
+) -> MigrationResult:
+    """The naive baseline: freeze, copy everything, resume."""
+    cfg.validate()
+    if sim is None:
+        sim = link.sim
+
+    def process():
+        start = sim.now
+        result = yield from link.transfer(
+            cfg.vm_pages * PAGE_SIZE + cfg.cpu_state_bytes
+        )
+        return MigrationResult(
+            technique="stop_and_copy",
+            total_time_us=sim.now - start,
+            downtime_us=result.duration,
+            pages_sent=cfg.vm_pages,
+            rounds=1,
+        )
+
+    return _run(sim, process())

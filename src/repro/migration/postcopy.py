@@ -1,0 +1,187 @@
+"""Functional post-copy migration (Hines & Gopalan, VEE'09).
+
+The destination VM is created with **no** backing frames
+(``prealloc=False``): the vCPU and device state move immediately (the
+only downtime), the guest resumes on the destination, and every first
+touch of a page raises an EPT violation that the migrator services by
+fetching the page from the source ("demand fetch"). A background
+"pusher" proactively transfers the remaining pages between execution
+quanta so the degradation window is bounded.
+
+Requires nested paging on the destination (the EPT violation is the
+fetch trigger); that matches reality — production post-copy (userfaultd
+/ KVM) relies on second-level translation faults.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.core.hypervisor import Hypervisor, RunOutcome
+from repro.core.modes import MMUVirtMode, VirtMode
+from repro.core.vm import GuestConfig, VirtualMachine
+from repro.util.errors import MigrationError
+from repro.util.units import PAGE_SIZE
+
+from repro.migration.live import CPU_STATE_BYTES, LiveMigrator
+
+
+@dataclass
+class PostCopyResult:
+    """Outcome of a functional post-copy migration."""
+
+    dest_vm: VirtualMachine
+    downtime_cycles: int
+    remote_faults: int
+    pushed_pages: int
+    total_pages: int
+    outcome: RunOutcome
+    #: cycles of guest progress made while pages were still remote.
+    degraded_cycles: int
+
+    @property
+    def fetch_fraction(self) -> float:
+        if self.total_pages == 0:
+            return 0.0
+        return self.remote_faults / self.total_pages
+
+
+class PostCopyMigrator:
+    """Move a VM by resuming first and fetching memory on demand."""
+
+    def __init__(
+        self,
+        source: Hypervisor,
+        destination: Hypervisor,
+        bytes_per_cycle: float = 1.0,
+        fetch_latency_cycles: int = 3000,
+        push_batch_pages: int = 64,
+        push_quantum_instructions: int = 5000,
+    ):
+        if bytes_per_cycle <= 0:
+            raise MigrationError("bytes_per_cycle must be positive")
+        if push_batch_pages <= 0 or push_quantum_instructions <= 0:
+            raise MigrationError("push parameters must be positive")
+        self.source = source
+        self.destination = destination
+        self.bytes_per_cycle = bytes_per_cycle
+        self.fetch_latency_cycles = fetch_latency_cycles
+        self.push_batch_pages = push_batch_pages
+        self.push_quantum = push_quantum_instructions
+
+    def migrate_and_run(
+        self,
+        vm: VirtualMachine,
+        dest_name: Optional[str] = None,
+        max_guest_instructions: int = 50_000_000,
+    ) -> PostCopyResult:
+        """Switch execution to the destination and run to completion.
+
+        Unlike pre-copy, post-copy cannot hand back a paused VM and
+        walk away -- the destination needs the migrator alive to
+        service remote faults -- so this call owns the whole run.
+        """
+        if vm.config.virt_mode is not VirtMode.HW_ASSIST:
+            raise MigrationError(
+                "functional post-copy requires HW_ASSIST on the source "
+                "(vCPU state must be architectural)"
+            )
+        src_mem = vm.guest_mem
+        dest_config = GuestConfig(
+            name=dest_name or f"{vm.name}-dst",
+            memory_bytes=vm.config.memory_bytes,
+            virt_mode=VirtMode.HW_ASSIST,
+            mmu_mode=MMUVirtMode.NESTED,
+            prealloc=False,
+            with_virtio=vm.config.with_virtio,
+            with_emulated_io=vm.config.with_emulated_io,
+        )
+        dst_vm = self.destination.create_vm(dest_config)
+
+        remaining: Set[int] = set(src_mem.map)
+        total_pages = len(remaining)
+        stats = {"faults": 0, "pushed": 0}
+
+        def fetch(gfn: int) -> None:
+            """Copy one page from source into fresh destination backing."""
+            hfn = self.destination.allocator.alloc(zero=False)
+            self.destination.physmem.write_frame(hfn, src_mem.read_gfn(gfn))
+            dst_vm.guest_mem.map_page(gfn, hfn)
+            remaining.discard(gfn)
+
+        def on_ept_fault(fault_vm, gfn, _access):
+            if fault_vm is not dst_vm or gfn not in remaining:
+                # Not ours (e.g. a ballooned page): default behaviour.
+                fault_vm.guest_mem.map_page(
+                    gfn, self.destination.allocator.alloc()
+                )
+                return
+            fetch(gfn)
+            stats["faults"] += 1
+            # A remote fault stalls the vCPU for a network round trip.
+            fault_vm.stats.vmm_cycles += (
+                self.fetch_latency_cycles
+                + int(PAGE_SIZE / self.bytes_per_cycle)
+            )
+
+        old_hook = self.destination.ept_fault_hook
+        self.destination.ept_fault_hook = on_ept_fault
+
+        # Downtime: vCPU + device state only.
+        borrowed = LiveMigrator(self.source, self.destination,
+                                self.bytes_per_cycle)
+        borrowed._copy_vcpu(vm, dst_vm)
+        borrowed._copy_devices(vm, dst_vm)
+        dst_vm.pending_virqs = set(vm.pending_virqs)
+        dst_vm.ballooned_gfns = set(vm.ballooned_gfns)
+        downtime = int(CPU_STATE_BYTES / self.bytes_per_cycle)
+        dst_vm.stats.vmm_cycles += downtime
+
+        # Interleave execution with background pushing until either the
+        # guest finishes or every page has arrived.
+        degraded_start = self._vm_cycles(dst_vm)
+        outcome = RunOutcome.INSTR_LIMIT
+        executed = 0
+        while executed < max_guest_instructions:
+            quantum = min(self.push_quantum,
+                          max_guest_instructions - executed)
+            outcome = self.destination.run(
+                dst_vm, max_guest_instructions=quantum
+            )
+            executed += quantum
+            if outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED):
+                break
+            if remaining:
+                batch = [remaining.pop() for _ in
+                         range(min(self.push_batch_pages, len(remaining)))]
+                for gfn in batch:
+                    remaining.add(gfn)  # fetch() discards
+                    fetch(gfn)
+                    stats["pushed"] += 1
+                dst_vm.stats.vmm_cycles += int(
+                    len(batch) * PAGE_SIZE / self.bytes_per_cycle
+                )
+        degraded = (
+            self._vm_cycles(dst_vm) - degraded_start if remaining == set()
+            else self._vm_cycles(dst_vm) - degraded_start
+        )
+
+        # Finish the background push if the guest ended early.
+        while remaining:
+            gfn = next(iter(remaining))
+            fetch(gfn)
+            stats["pushed"] += 1
+
+        self.destination.ept_fault_hook = old_hook
+        return PostCopyResult(
+            dest_vm=dst_vm,
+            downtime_cycles=downtime,
+            remote_faults=stats["faults"],
+            pushed_pages=stats["pushed"],
+            total_pages=total_pages,
+            outcome=outcome,
+            degraded_cycles=degraded,
+        )
+
+    @staticmethod
+    def _vm_cycles(vm: VirtualMachine) -> int:
+        return vm.vcpus[0].cpu.cycles + vm.stats.vmm_cycles

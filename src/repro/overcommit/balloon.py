@@ -1,0 +1,120 @@
+"""Host-side ballooning policy.
+
+The balloon *mechanism* is the guest-driven ``BALLOON_GIVE`` /
+``BALLOON_TAKE`` hypercall pair; this module is the *policy*: given
+per-VM configured sizes, working-set estimates, and the host's free
+memory, compute how many pages each VM's balloon driver should inflate
+(give up) or deflate (take back).
+
+The allocation rule is VMware-style proportional sharing: each VM keeps
+its working set plus a share of the remaining memory proportional to
+its shares (weight), and idle memory is taxed -- memory neither VM's
+WSS claims is reclaimed first from the VMs holding the most idle pages.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.util.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BalloonTarget:
+    """Policy output for one VM."""
+
+    name: str
+    current_pages: int
+    target_pages: int
+
+    @property
+    def inflate_pages(self) -> int:
+        """Pages the guest balloon should give up (0 if deflating)."""
+        return max(0, self.current_pages - self.target_pages)
+
+    @property
+    def deflate_pages(self) -> int:
+        return max(0, self.target_pages - self.current_pages)
+
+
+@dataclass(frozen=True)
+class _VMEntry:
+    name: str
+    current_pages: int
+    wss_pages: int
+    shares: int
+
+
+class BalloonPolicy:
+    """Idle-memory-tax proportional allocator."""
+
+    def __init__(self, host_pages: int, reserve_pages: int = 0,
+                 idle_tax: float = 0.75):
+        if host_pages <= 0:
+            raise ConfigError("host_pages must be positive")
+        if not 0.0 <= idle_tax <= 1.0:
+            raise ConfigError("idle_tax must be in [0, 1]")
+        self.host_pages = host_pages
+        self.reserve_pages = reserve_pages
+        self.idle_tax = idle_tax
+        self._vms: List[_VMEntry] = []
+
+    def add_vm(self, name: str, current_pages: int, wss_pages: int,
+               shares: int = 1000) -> None:
+        if wss_pages > current_pages:
+            wss_pages = current_pages
+        if shares <= 0:
+            raise ConfigError("shares must be positive")
+        self._vms.append(_VMEntry(name, current_pages, wss_pages, shares))
+
+    def compute_targets(self) -> List[BalloonTarget]:
+        """Compute per-VM page targets under current pressure."""
+        if not self._vms:
+            return []
+        available = self.host_pages - self.reserve_pages
+        total_wss = sum(vm.wss_pages for vm in self._vms)
+        total_current = sum(vm.current_pages for vm in self._vms)
+
+        if total_current <= available:
+            # No pressure: everyone keeps what they have.
+            return [
+                BalloonTarget(vm.name, vm.current_pages, vm.current_pages)
+                for vm in self._vms
+            ]
+
+        targets: Dict[str, int] = {}
+        if total_wss >= available:
+            # Even working sets do not fit: scale WSS proportionally
+            # (the remainder will hit host swap).
+            for vm in self._vms:
+                targets[vm.name] = max(
+                    1, int(available * vm.wss_pages / total_wss)
+                )
+        else:
+            # Working sets fit. Distribute the surplus by shares, after
+            # taxing idle memory (current - wss) at idle_tax.
+            surplus = available - total_wss
+            total_shares = sum(vm.shares for vm in self._vms)
+            for vm in self._vms:
+                idle = vm.current_pages - vm.wss_pages
+                keep_idle = int(idle * (1.0 - self.idle_tax))
+                share_part = int(surplus * vm.shares / total_shares)
+                target = vm.wss_pages + min(keep_idle + share_part, idle)
+                targets[vm.name] = min(target, vm.current_pages)
+            # Never exceed what is available in aggregate.
+            overshoot = sum(targets.values()) - available
+            if overshoot > 0:
+                for vm in sorted(
+                    self._vms,
+                    key=lambda v: targets[v.name] - v.wss_pages,
+                    reverse=True,
+                ):
+                    slack = targets[vm.name] - vm.wss_pages
+                    cut = min(slack, overshoot)
+                    targets[vm.name] -= cut
+                    overshoot -= cut
+                    if overshoot <= 0:
+                        break
+        return [
+            BalloonTarget(vm.name, vm.current_pages, targets[vm.name])
+            for vm in self._vms
+        ]

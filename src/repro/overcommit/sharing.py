@@ -1,0 +1,166 @@
+"""Content-based page sharing with copy-on-write.
+
+The scanner fingerprints mapped guest frames across every registered
+VM, verifies candidate pairs byte-for-byte (fingerprints can collide),
+re-points duplicate gfns at one canonical host frame, frees the
+duplicates, and write-protects every sharer. A write to a shared page
+takes the dirty-log exit path; the hypervisor routes it here and
+:meth:`PageSharer.on_write_fault` breaks the share with a private copy.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.hypervisor import Hypervisor
+from repro.core.nested import NestedMMU
+from repro.core.shadow import ShadowMMU
+from repro.core.vm import VirtualMachine
+from repro.util.errors import MemoryError_
+from repro.util.units import PAGE_SHIFT
+
+
+@dataclass
+class ScanResult:
+    """Outcome of one scan pass."""
+
+    frames_scanned: int = 0
+    pages_merged: int = 0
+    frames_freed: int = 0
+    shared_frames: int = 0
+
+    @property
+    def bytes_saved(self) -> int:
+        return self.frames_freed << PAGE_SHIFT
+
+
+class PageSharer:
+    """KSM-style cross-VM page deduplication."""
+
+    def __init__(self, hypervisor: Hypervisor):
+        self.hv = hypervisor
+        #: canonical hfn -> reference count (number of gfn mappings).
+        self.refcount: Dict[int, int] = {}
+        #: (vm name, gfn) pairs currently sharing a frame.
+        self._sharers: Set[Tuple[str, int]] = set()
+        self.cow_breaks = 0
+        hypervisor.sharing = self
+
+    # -- scanning ---------------------------------------------------------
+
+    def scan(self, vms: Optional[List[VirtualMachine]] = None) -> ScanResult:
+        """One full pass: merge all byte-identical mapped frames."""
+        if vms is None:
+            vms = list(self.hv.vms.values())
+        result = ScanResult()
+        by_print: Dict[int, List[Tuple[VirtualMachine, int, int]]] = {}
+        for vm in vms:
+            for gfn, hfn in sorted(vm.guest_mem.map.items()):
+                result.frames_scanned += 1
+                fp = self.hv.physmem.frame_fingerprint(hfn)
+                by_print.setdefault(fp, []).append((vm, gfn, hfn))
+        for candidates in by_print.values():
+            if len(candidates) < 2:
+                continue
+            self._merge_group(candidates, result)
+        result.shared_frames = len(self.refcount)
+        return result
+
+    def _merge_group(self, candidates, result: ScanResult) -> None:
+        # Group by exact content (fingerprints may collide).
+        by_content: Dict[bytes, List] = {}
+        for vm, gfn, hfn in candidates:
+            by_content.setdefault(self.hv.physmem.read_frame(hfn), []).append(
+                (vm, gfn, hfn)
+            )
+        for group in by_content.values():
+            if len(group) < 2:
+                continue
+            canon_vm, canon_gfn, canon_hfn = group[0]
+            self._protect(canon_vm, canon_gfn)
+            self.refcount.setdefault(canon_hfn, 1)
+            self._sharers.add((canon_vm.name, canon_gfn))
+            for vm, gfn, hfn in group[1:]:
+                if hfn == canon_hfn:
+                    continue
+                self._drop_mappings(vm, gfn)
+                vm.guest_mem.unmap_page(gfn)
+                self._sharers.discard((vm.name, gfn))
+                if self.release_frame(hfn):
+                    self.hv.allocator.free(hfn)
+                    result.frames_freed += 1
+                vm.guest_mem.map_page(gfn, canon_hfn)
+                self.refcount[canon_hfn] += 1
+                self._remap(vm, gfn, canon_hfn)
+                self._protect(vm, gfn)
+                self._sharers.add((vm.name, gfn))
+                result.pages_merged += 1
+
+    # -- write-fault interception (called by the hypervisor) --------------
+
+    def handles(self, vm: VirtualMachine, gfn: int) -> bool:
+        return (vm.name, gfn) in self._sharers
+
+    def on_write_fault(self, vm: VirtualMachine, gfn: int) -> None:
+        """Break copy-on-write: give the writer a private copy."""
+        if (vm.name, gfn) not in self._sharers:
+            raise MemoryError_(f"COW break for non-shared ({vm.name}, {gfn})")
+        shared_hfn = vm.guest_mem.map[gfn]
+        content = self.hv.physmem.read_frame(shared_hfn)
+        self._drop_mappings(vm, gfn)
+        vm.guest_mem.unmap_page(gfn)
+        new_hfn = self.hv.allocator.alloc(zero=False)
+        self.hv.physmem.write_frame(new_hfn, content)
+        vm.guest_mem.map_page(gfn, new_hfn)
+        self._remap(vm, gfn, new_hfn)
+        self._unprotect(vm, gfn)
+        self._sharers.discard((vm.name, gfn))
+        self.cow_breaks += 1
+        if self.release_frame(shared_hfn):
+            # Last reference went away entirely (e.g. balloon raced us).
+            self.hv.allocator.free(shared_hfn)
+
+    def release_frame(self, hfn: int) -> bool:
+        """Drop one mapping reference.
+
+        Returns True iff no references remain and the caller must free
+        the frame. A never-shared frame trivially returns True (the
+        caller held its only reference).
+        """
+        count = self.refcount.get(hfn)
+        if count is None:
+            return True
+        count -= 1
+        if count == 0:
+            del self.refcount[hfn]
+            return True
+        self.refcount[hfn] = count
+        return False
+
+    @property
+    def shared_mappings(self) -> int:
+        return len(self._sharers)
+
+    # -- MMU plumbing ------------------------------------------------------
+
+    def _mmu(self, vm: VirtualMachine):
+        return vm.vcpus[0].cpu.mmu
+
+    def _protect(self, vm: VirtualMachine, gfn: int) -> None:
+        self._mmu(vm).write_protect_gfn(gfn)
+
+    def _unprotect(self, vm: VirtualMachine, gfn: int) -> None:
+        self._mmu(vm).unprotect_gfn(gfn)
+
+    def _drop_mappings(self, vm: VirtualMachine, gfn: int) -> None:
+        mmu = self._mmu(vm)
+        if isinstance(mmu, ShadowMMU):
+            mmu.drop_gfn(gfn)
+        elif isinstance(mmu, NestedMMU):
+            if mmu.ept.lookup(gfn << PAGE_SHIFT) is not None:
+                mmu.ept_unmap(gfn)
+
+    def _remap(self, vm: VirtualMachine, gfn: int, hfn: int) -> None:
+        mmu = self._mmu(vm)
+        if isinstance(mmu, NestedMMU):
+            mmu.ept_map(gfn, hfn)
+        # Shadow MMUs refill lazily on the next access.

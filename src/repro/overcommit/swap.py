@@ -1,0 +1,119 @@
+"""Host-level swapping of guest frames.
+
+The host evicts a guest frame by stashing its contents in a host-side
+store and unmapping it everywhere. The next guest touch faults --
+through the shadow fill path (``page_in_hook``) or an EPT violation
+(``ept_fault_hook``) -- and the page is brought back in, evicting
+something else if the host is still tight.
+
+This is the transparent last-resort mechanism of the overcommit stack:
+correct for any guest, but each fault costs a "disk" access, which is
+why E7 shows swap-only overcommit collapsing where balloon + sharing
+still perform.
+"""
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.core.hypervisor import Hypervisor
+from repro.core.nested import NestedMMU
+from repro.core.shadow import ShadowMMU
+from repro.core.vm import VirtualMachine
+from repro.util.errors import MemoryError_
+from repro.util.units import PAGE_SHIFT
+
+
+class HostSwap:
+    """Per-hypervisor swap device with LRU-ish victim selection."""
+
+    def __init__(self, hypervisor: Hypervisor, swap_in_cost_cycles: int = 200_000):
+        self.hv = hypervisor
+        self.swap_in_cost_cycles = swap_in_cost_cycles
+        self._store: Dict[Tuple[str, int], bytes] = {}
+        #: Insertion-ordered map of resident (vm name, gfn) -> vm, used
+        #: for victim selection when swapping in under pressure.
+        self._resident_lru: "OrderedDict[Tuple[str, int], VirtualMachine]" = (
+            OrderedDict()
+        )
+        self.swap_outs = 0
+        self.swap_ins = 0
+        hypervisor.ept_fault_hook = self._ept_fault
+
+    def install(self, vm: VirtualMachine) -> None:
+        """Wire the page-in path for one VM and seed the LRU."""
+        mmu = vm.vcpus[0].cpu.mmu
+        if isinstance(mmu, ShadowMMU):
+            mmu.page_in_hook = lambda gfn, _vm=vm: self.swap_in(_vm, gfn)
+        for gfn in vm.guest_mem.map:
+            self._resident_lru[(vm.name, gfn)] = vm
+
+    # -- eviction -----------------------------------------------------------
+
+    def swap_out(self, vm: VirtualMachine, gfn: int) -> None:
+        """Evict one guest frame to the host store."""
+        if not vm.guest_mem.is_mapped(gfn):
+            raise MemoryError_(f"swap_out of unmapped gfn {gfn} in {vm.name}")
+        if self.hv.sharing is not None and self.hv.sharing.handles(vm, gfn):
+            raise MemoryError_("cannot swap a shared page; break it first")
+        content = vm.guest_mem.read_gfn(gfn)
+        mmu = vm.vcpus[0].cpu.mmu
+        if isinstance(mmu, ShadowMMU):
+            mmu.drop_gfn(gfn)
+        elif isinstance(mmu, NestedMMU):
+            if mmu.ept.lookup(gfn << PAGE_SHIFT) is not None:
+                mmu.ept_unmap(gfn)
+        hfn = vm.guest_mem.unmap_page(gfn)
+        self.hv.allocator.free(hfn)
+        self._store[(vm.name, gfn)] = content
+        self._resident_lru.pop((vm.name, gfn), None)
+        self.swap_outs += 1
+
+    def evict_some(self, count: int) -> int:
+        """Evict up to ``count`` resident pages (oldest first)."""
+        evicted = 0
+        for key in list(self._resident_lru):
+            if evicted >= count:
+                break
+            vm = self._resident_lru[key]
+            name, gfn = key
+            if name not in self.hv.vms or not vm.guest_mem.is_mapped(gfn):
+                self._resident_lru.pop(key, None)
+                continue
+            if self.hv.sharing is not None and self.hv.sharing.handles(vm, gfn):
+                self._resident_lru.move_to_end(key)
+                continue
+            self.swap_out(vm, gfn)
+            evicted += 1
+        return evicted
+
+    # -- page-in ------------------------------------------------------------
+
+    def swap_in(self, vm: VirtualMachine, gfn: int) -> None:
+        """Bring a swapped page back (charging the fault cost)."""
+        key = (vm.name, gfn)
+        content = self._store.pop(key, None)
+        if content is None:
+            raise MemoryError_(f"gfn {gfn} of {vm.name} is not swapped")
+        if self.hv.allocator.free_frames == 0:
+            self.evict_some(1)
+        hfn = self.hv.allocator.alloc(zero=False)
+        self.hv.physmem.write_frame(hfn, content)
+        vm.guest_mem.map_page(gfn, hfn)
+        self._resident_lru[key] = vm
+        vm.stats.vmm_cycles += self.swap_in_cost_cycles
+        self.swap_ins += 1
+
+    def is_swapped(self, vm: VirtualMachine, gfn: int) -> bool:
+        return (vm.name, gfn) in self._store
+
+    @property
+    def swapped_pages(self) -> int:
+        return len(self._store)
+
+    def _ept_fault(self, vm: VirtualMachine, gfn: int, _access) -> None:
+        if self.is_swapped(vm, gfn):
+            self.swap_in(vm, gfn)
+        else:
+            # Not ours: demand-allocate as the hypervisor would have.
+            vm.guest_mem.map_page(gfn, self.hv.allocator.alloc())
+            self._resident_lru[(vm.name, gfn)] = vm

@@ -1,0 +1,38 @@
+"""vCPU scheduling (experiment E5).
+
+Runs on the discrete-event engine: each vCPU is a task with a workload
+model (always-runnable CPU hog, or burst/block interactive), physical
+cores run a dispatch loop, and a pluggable scheduler picks who runs.
+
+Schedulers:
+
+* :class:`~repro.sched.rr.RoundRobinScheduler` -- the baseline; ignores
+  weights entirely.
+* :class:`~repro.sched.credit.CreditScheduler` -- Xen's credit
+  scheduler: periodic credit refill proportional to weight, UNDER/OVER
+  priorities, optional BOOST for waking interactive vCPUs, per-vCPU
+  caps.
+* :class:`~repro.sched.stride.StrideScheduler` -- deterministic
+  proportional share via per-task strides.
+"""
+
+from repro.sched.entities import VCpuTask, CpuBoundWork, InteractiveWork, TaskState
+from repro.sched.base import Scheduler, SchedStats
+from repro.sched.rr import RoundRobinScheduler
+from repro.sched.credit import CreditScheduler
+from repro.sched.stride import StrideScheduler
+from repro.sched.host import SchedHost, run_schedule
+
+__all__ = [
+    "VCpuTask",
+    "CpuBoundWork",
+    "InteractiveWork",
+    "TaskState",
+    "Scheduler",
+    "SchedStats",
+    "RoundRobinScheduler",
+    "CreditScheduler",
+    "StrideScheduler",
+    "SchedHost",
+    "run_schedule",
+]

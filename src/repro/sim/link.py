@@ -1,0 +1,76 @@
+"""Point-to-point network link model.
+
+Live migration and cluster rebalancing move bytes over a
+:class:`NetworkLink` with a fixed bandwidth and propagation latency.
+Transfers serialize on the link (FIFO), which is what makes concurrent
+migrations slow each other down, as on a real management network.
+"""
+
+from dataclasses import dataclass
+from typing import Generator
+
+from repro.sim.kernel import SEC, Simulator, Timeout
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Completion record for one transfer."""
+
+    nbytes: int
+    started_at: int
+    finished_at: int
+
+    @property
+    def duration(self) -> int:
+        return self.finished_at - self.started_at
+
+
+class NetworkLink:
+    """A serialized link with bandwidth (bytes/s) and latency (ticks)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bandwidth_bytes_per_sec: float,
+        latency: int = 0,
+        name: str = "link",
+    ):
+        if bandwidth_bytes_per_sec <= 0:
+            raise ValueError("bandwidth must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.bandwidth = bandwidth_bytes_per_sec
+        self.latency = latency
+        self.name = name
+        self._channel = Resource(sim, capacity=1)
+        self.bytes_sent = 0
+        self.transfers = 0
+
+    def transmission_time(self, nbytes: int) -> int:
+        """Serialization + propagation time for ``nbytes``, in ticks."""
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        serialization = int(nbytes / self.bandwidth * SEC)
+        return serialization + self.latency
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Generator to ``yield from``; completes when bytes are delivered.
+
+        Returns a :class:`TransferResult` (via the generator's return
+        value, i.e. ``result = yield from link.transfer(n)``).
+        """
+        if nbytes < 0:
+            raise ValueError("negative byte count")
+        yield from self._channel.acquire()
+        started = self.sim.now
+        try:
+            delay = self.transmission_time(nbytes)
+            if delay > 0:
+                yield Timeout(delay)
+        finally:
+            self._channel.release()
+        self.bytes_sent += nbytes
+        self.transfers += 1
+        return TransferResult(nbytes, started, self.sim.now)

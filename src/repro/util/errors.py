@@ -1,0 +1,39 @@
+"""Exception hierarchy for pyvisor.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Subsystems raise their own subclass;
+``raise ... from`` is used at subsystem boundaries to preserve causes.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all pyvisor errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid or inconsistent configuration supplied by the caller."""
+
+
+class GuestError(ReproError):
+    """The guest performed an unrecoverable action (triple fault etc.)."""
+
+
+class MemoryError_(ReproError):
+    """Physical or virtual memory subsystem failure (OOM, bad mapping).
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    :class:`MemoryError`, which signals interpreter heap exhaustion and
+    must stay catchable separately.
+    """
+
+
+class DeviceError(ReproError):
+    """A device model rejected an operation (bad port, full ring, ...)."""
+
+
+class MigrationError(ReproError):
+    """Live migration could not make progress or was misconfigured."""
+
+
+class SchedulerError(ReproError):
+    """Scheduler invariant violation or invalid scheduling parameter."""

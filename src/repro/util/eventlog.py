@@ -1,0 +1,66 @@
+"""Bounded structured event trace.
+
+Subsystems append :class:`Event` records (timestamp, category, message,
+payload); tests and debugging tools filter them. The buffer is bounded so
+long simulations cannot exhaust memory; when full, the oldest events are
+dropped and ``dropped`` counts them.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class Event:
+    """One trace record."""
+
+    time: int
+    category: str
+    message: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = f" {self.payload}" if self.payload else ""
+        return f"[{self.time}] {self.category}: {self.message}{extra}"
+
+
+class EventLog:
+    """Append-only bounded trace buffer."""
+
+    def __init__(self, capacity: int = 100_000, enabled: bool = True):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._events: Deque[Event] = deque(maxlen=capacity)
+        self.enabled = enabled
+        self.dropped = 0
+        self.total = 0
+
+    def emit(self, time: int, category: str, message: str, **payload: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.total += 1
+        if len(self._events) == self._events.maxlen:
+            self.dropped += 1
+        self._events.append(Event(time, category, message, payload))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def filter(self, category: Optional[str] = None, since: int = 0) -> Iterator[Event]:
+        """Yield retained events matching the category at/after ``since``."""
+        for ev in self._events:
+            if ev.time < since:
+                continue
+            if category is not None and ev.category != category:
+                continue
+            yield ev
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self.total = 0

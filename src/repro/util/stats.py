@@ -1,0 +1,153 @@
+"""Summary statistics used by experiment harnesses and schedulers."""
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+
+def percentile(values: Sequence[float], p: float) -> float:
+    """Return the p-th percentile (0..100) by linear interpolation.
+
+    Matches numpy's default ("linear") method so results line up with any
+    external analysis a user does on exported data.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= p <= 100.0:
+        raise ValueError(f"percentile {p} out of range [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (p / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def jain_fairness(shares: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 is perfectly fair, 1/n maximally unfair."""
+    if not shares:
+        raise ValueError("fairness of empty sequence")
+    total = sum(shares)
+    sq = sum(s * s for s in shares)
+    if sq == 0:
+        return 1.0  # everyone got exactly zero: degenerate but "fair"
+    return (total * total) / (len(shares) * sq)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean; standard for normalized-overhead summaries."""
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geomean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Iterable[float]) -> "Summary":
+        data: List[float] = [float(v) for v in values]
+        if not data:
+            raise ValueError("summary of empty sequence")
+        n = len(data)
+        mean = sum(data) / n
+        var = sum((v - mean) ** 2 for v in data) / n
+        return cls(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            minimum=min(data),
+            p50=percentile(data, 50),
+            p95=percentile(data, 95),
+            p99=percentile(data, 99),
+            maximum=max(data),
+        )
+
+
+class RunningStats:
+    """Welford accumulator: mean/variance without storing the sample.
+
+    Used on hot paths (per-instruction, per-event) where materializing a
+    list would dominate memory.
+    """
+
+    def __init__(self):
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: float) -> None:
+        self._n += 1
+        delta = value - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._m2 / self._n
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def minimum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._min
+
+    @property
+    def maximum(self) -> float:
+        if self._n == 0:
+            raise ValueError("no samples")
+        return self._max
+
+    def merge(self, other: "RunningStats") -> None:
+        """Fold another accumulator into this one (parallel Welford)."""
+        if other._n == 0:
+            return
+        if self._n == 0:
+            self._n, self._mean, self._m2 = other._n, other._mean, other._m2
+            self._min, self._max = other._min, other._max
+            return
+        n = self._n + other._n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self._n * other._n / n
+        self._mean += delta * other._n / n
+        self._n = n
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)

@@ -1,0 +1,66 @@
+"""Shared fixtures: memory systems, machines, hypervisors, kernels.
+
+Kernel images are pure functions of their options, so the two common
+builds are assembled once per session.
+"""
+
+import pytest
+
+from repro.core import GuestConfig, Hypervisor, Machine, MMUVirtMode, VirtMode
+from repro.guest import KernelOptions, build_kernel
+from repro.mem.costs import CostModel
+from repro.mem.physmem import FrameAllocator, PhysicalMemory
+from repro.util.units import MIB
+
+GUEST_MEM = 16 * MIB
+HOST_MEM = 64 * MIB
+
+
+@pytest.fixture
+def physmem():
+    return PhysicalMemory(1 * MIB)
+
+
+@pytest.fixture
+def allocator(physmem):
+    return FrameAllocator(physmem, reserved_frames=4)
+
+
+@pytest.fixture
+def costs():
+    return CostModel()
+
+
+@pytest.fixture
+def machine():
+    return Machine(memory_bytes=GUEST_MEM)
+
+
+@pytest.fixture
+def hypervisor():
+    return Hypervisor(memory_bytes=HOST_MEM)
+
+
+@pytest.fixture(scope="session")
+def hvm_kernel():
+    return build_kernel(KernelOptions(memory_bytes=GUEST_MEM))
+
+
+@pytest.fixture(scope="session")
+def pv_kernel():
+    return build_kernel(KernelOptions(pv=True, memory_bytes=GUEST_MEM))
+
+
+@pytest.fixture(scope="session")
+def hvm_kernel_timer():
+    return build_kernel(
+        KernelOptions(memory_bytes=GUEST_MEM, timer_period=150_000)
+    )
+
+
+def make_vm(hv, name="vm", virt_mode=VirtMode.HW_ASSIST,
+            mmu_mode=MMUVirtMode.NESTED, **kwargs):
+    return hv.create_vm(
+        GuestConfig(name=name, memory_bytes=GUEST_MEM,
+                    virt_mode=virt_mode, mmu_mode=mmu_mode, **kwargs)
+    )

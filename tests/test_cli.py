@@ -1,0 +1,47 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "hw-nested" in out and "hello" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "e5"]) == 0
+    out = capsys.readouterr().out
+    assert "E5a" in out and "credit" in out
+    assert "E5b" in out  # the extra latency table prints too
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "e99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_boot_default(capsys):
+    assert main(["boot"]) == 0
+    out = capsys.readouterr().out
+    assert "user result       : 42" in out
+    assert "virtualization OK : True" in out
+
+
+def test_boot_trap_emulate_reports_violation(capsys):
+    assert main(["boot", "--mode", "trap-emulate"]) == 0
+    out = capsys.readouterr().out
+    assert "virtualization OK : False" in out
+
+
+def test_boot_native(capsys):
+    assert main(["boot", "--mode", "native", "--workload", "syscall_storm"]) == 0
+    out = capsys.readouterr().out
+    assert "exits             : 0" in out
+
+
+def test_boot_bad_arguments(capsys):
+    assert main(["boot", "--mode", "nope"]) == 2
+    assert main(["boot", "--workload", "nope"]) == 2

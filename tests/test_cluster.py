@@ -1,0 +1,229 @@
+"""Cluster: hosts, placement, interference, power, balancing."""
+
+import pytest
+
+from repro.cluster import (
+    Host,
+    HostSpec,
+    LoadBalancer,
+    Placement,
+    PowerModel,
+    VMSpec,
+    best_fit,
+    consolidation_savings,
+    first_fit,
+    host_performance,
+    plan_consolidation,
+    worst_fit,
+)
+from repro.sim.kernel import Simulator
+from repro.sim.link import NetworkLink
+from repro.util.errors import ConfigError
+from repro.util.units import GIB, MIB
+
+SPEC = HostSpec(cores=4, cpu_capacity=4.0, memory_bytes=16 * GIB)
+
+
+def vm(name, cpu=1.0, mem=2 * GIB, interactive=False):
+    return VMSpec(name, cpu_demand=cpu, memory_bytes=mem,
+                  interactive=interactive)
+
+
+class TestHost:
+    def test_place_and_accounting(self):
+        host = Host(SPEC, 0)
+        host.place(vm("a", cpu=1.5, mem=4 * GIB))
+        assert host.memory_used == 4 * GIB
+        assert host.cpu_demand == 1.5
+        assert host.memory_free == 12 * GIB
+
+    def test_memory_is_hard_constraint(self):
+        host = Host(SPEC, 0)
+        host.place(vm("a", mem=12 * GIB))
+        assert not host.fits(vm("b", mem=8 * GIB))
+        with pytest.raises(ConfigError):
+            host.place(vm("b", mem=8 * GIB))
+
+    def test_cpu_oversubscription_allowed(self):
+        host = Host(SPEC, 0)
+        for i in range(6):
+            host.place(vm(f"v{i}", cpu=1.0, mem=1 * GIB))
+        assert host.cpu_demand == 6.0
+        assert host.cpu_utilization == 1.0  # clipped
+
+    def test_duplicate_and_missing_vm(self):
+        host = Host(SPEC, 0)
+        host.place(vm("a"))
+        with pytest.raises(ConfigError):
+            host.place(vm("a"))
+        with pytest.raises(ConfigError):
+            host.remove("nope")
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigError):
+            HostSpec(cores=0).validate()
+        with pytest.raises(ConfigError):
+            HostSpec(idle_watts=300, peak_watts=200).validate()
+
+
+class TestPlacement:
+    def _hosts(self, n=3):
+        return [Host(SPEC, i) for i in range(n)]
+
+    def test_first_fit_fills_in_order(self):
+        hosts = self._hosts()
+        placement = first_fit([vm(f"v{i}", mem=6 * GIB) for i in range(4)],
+                              hosts)
+        assert len(hosts[0].vms) == 2
+        assert len(hosts[1].vms) == 2
+        assert placement.hosts_used == 2
+
+    def test_best_fit_packs_tightest(self):
+        hosts = self._hosts(2)
+        hosts[0].place(vm("pre", mem=10 * GIB))
+        best_fit([vm("new", mem=4 * GIB)], hosts)
+        assert "new" in hosts[0].vms  # squeezed into the fuller host
+
+    def test_worst_fit_spreads(self):
+        hosts = self._hosts(2)
+        hosts[0].place(vm("pre", mem=10 * GIB))
+        worst_fit([vm("new", mem=4 * GIB)], hosts)
+        assert "new" in hosts[1].vms
+
+    def test_placement_failure(self):
+        hosts = self._hosts(1)
+        with pytest.raises(ConfigError):
+            first_fit([vm("big", mem=20 * GIB)], hosts)
+
+    def test_consolidation_minimizes_hosts(self):
+        vms = [vm(f"v{i}", cpu=1.0, mem=4 * GIB) for i in range(8)]
+        placement = plan_consolidation(vms, SPEC, cpu_overcommit=2.0)
+        assert placement.hosts_used == 2  # 4 VMs x 4 GiB per 16 GiB host
+        assert placement.total_vms == 8
+
+    def test_consolidation_respects_cpu_cap(self):
+        vms = [vm(f"v{i}", cpu=2.0, mem=1 * GIB) for i in range(8)]
+        tight = plan_consolidation(vms, SPEC, cpu_overcommit=1.0)
+        loose = plan_consolidation(vms, SPEC, cpu_overcommit=2.0)
+        assert tight.hosts_used > loose.hosts_used
+
+    def test_host_of_lookup(self):
+        vms = [vm("a"), vm("b")]
+        placement = plan_consolidation(vms, SPEC)
+        assert placement.host_of("a") is not None
+        assert placement.host_of("zz") is None
+
+
+class TestInterference:
+    def _loaded(self, n, interactive_first=True):
+        host = Host(HostSpec(cores=4, cpu_capacity=4.0,
+                             memory_bytes=64 * GIB), 0)
+        for i in range(n):
+            host.place(vm(f"v{i}", cpu=1.0, mem=1 * GIB,
+                          interactive=(i == 0 and interactive_first)))
+        return host
+
+    def test_linear_region(self):
+        perf = host_performance(self._loaded(2), virt_overhead=0.0)
+        assert perf.aggregate_throughput == pytest.approx(2.0)
+        assert not perf.saturated
+
+    def test_knee_at_capacity(self):
+        perf4 = host_performance(self._loaded(4), virt_overhead=0.0)
+        perf8 = host_performance(self._loaded(8), virt_overhead=0.0)
+        assert perf4.aggregate_throughput == pytest.approx(4.0)
+        assert perf8.aggregate_throughput == pytest.approx(4.0)
+        assert perf8.throughput["v1"] == pytest.approx(0.5)
+
+    def test_latency_blows_up_near_saturation(self):
+        low = host_performance(self._loaded(2))
+        high = host_performance(self._loaded(4))
+        assert high.latency_factor["v0"] > 5 * low.latency_factor["v0"]
+
+    def test_virt_overhead_shaves_capacity(self):
+        none = host_performance(self._loaded(6), virt_overhead=0.0)
+        taxed = host_performance(self._loaded(6), virt_overhead=0.10)
+        assert taxed.aggregate_throughput < none.aggregate_throughput
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ConfigError):
+            host_performance(self._loaded(1), virt_overhead=-0.1)
+
+
+class TestPower:
+    def test_idle_host_powered_off(self):
+        model = PowerModel()
+        assert model.host_watts(Host(SPEC, 0)) == 0.0
+
+    def test_watts_scale_with_utilization(self):
+        model = PowerModel()
+        light = Host(SPEC, 0)
+        light.place(vm("a", cpu=1.0, mem=1 * GIB))
+        heavy = Host(SPEC, 1)
+        for i in range(4):
+            heavy.place(vm(f"b{i}", cpu=1.0, mem=1 * GIB))
+        assert model.host_watts(light) < model.host_watts(heavy)
+        assert model.host_watts(heavy) == SPEC.peak_watts
+
+    def test_consolidation_savings_report(self):
+        vms = [vm(f"v{i}", cpu=1.0, mem=2 * GIB) for i in range(12)]
+        before_hosts = []
+        for i, v in enumerate(vms):
+            host = Host(SPEC, 100 + i)
+            host.place(v)
+            before_hosts.append(host)
+        before = Placement(hosts=before_hosts)
+        after = plan_consolidation(vms, SPEC, cpu_overcommit=1.5)
+        savings = consolidation_savings(before, after)
+        assert savings.hosts_after < savings.hosts_before
+        assert savings.annual_saving > 0
+        assert savings.consolidation_ratio > 2
+        assert savings.saving_per_retired_host > 0
+
+    def test_mismatched_placements_rejected(self):
+        a = Placement(hosts=[Host(SPEC, 0)])
+        host = Host(SPEC, 1)
+        host.place(vm("x"))
+        b = Placement(hosts=[host])
+        with pytest.raises(ConfigError):
+            consolidation_savings(a, b)
+
+
+class TestBalancer:
+    def _link(self):
+        return NetworkLink(Simulator(), bandwidth_bytes_per_sec=125 * MIB,
+                           latency=100)
+
+    def test_relieves_overload(self):
+        hosts = [Host(SPEC, i) for i in range(3)]
+        for i in range(8):
+            hosts[0].place(vm(f"hot{i}", cpu=1.0, mem=1 * GIB))
+        placement = Placement(hosts=hosts)
+        balancer = LoadBalancer(self._link(), high_watermark=0.9,
+                                low_watermark=0.8)
+        report = balancer.rebalance(placement)
+        assert report.migration_count > 0
+        assert report.imbalance_after < report.imbalance_before
+        assert all(h.cpu_demand / h.spec.cpu_capacity <= 0.95
+                   for h in hosts)
+        assert report.total_downtime_us > 0
+
+    def test_noop_when_balanced(self):
+        hosts = [Host(SPEC, i) for i in range(2)]
+        hosts[0].place(vm("a", cpu=1.0, mem=1 * GIB))
+        hosts[1].place(vm("b", cpu=1.0, mem=1 * GIB))
+        balancer = LoadBalancer(self._link())
+        report = balancer.rebalance(Placement(hosts=hosts))
+        assert report.migration_count == 0
+
+    def test_no_target_no_migration(self):
+        hosts = [Host(SPEC, 0)]  # nowhere to go
+        for i in range(8):
+            hosts[0].place(vm(f"v{i}", cpu=1.0, mem=1 * GIB))
+        balancer = LoadBalancer(self._link())
+        report = balancer.rebalance(Placement(hosts=hosts))
+        assert report.migration_count == 0
+
+    def test_watermark_validation(self):
+        with pytest.raises(ConfigError):
+            LoadBalancer(self._link(), high_watermark=0.5, low_watermark=0.8)

@@ -1,0 +1,150 @@
+"""Binary-translation engine: correctness, caching, chaining, callouts."""
+
+import pytest
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import RunOutcome
+from repro.cpu.assembler import Assembler
+from repro.util.units import MIB
+
+GUEST_MEM = 16 * MIB
+
+
+def bt_vm(hv, **kw):
+    return hv.create_vm(
+        GuestConfig(name=kw.pop("name", "bt"), memory_bytes=GUEST_MEM,
+                    virt_mode=VirtMode.BINARY_TRANSLATION,
+                    mmu_mode=MMUVirtMode.SHADOW, **kw)
+    )
+
+
+def run_bt(src, cache=True, chaining=True, max_instructions=200_000):
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    vm = bt_vm(hv)
+    vm.bt.cache_enabled = cache
+    vm.bt.chaining_enabled = chaining
+    prog = Assembler().assemble(".org 0x1000\n" + src)
+    hv.load_program(vm, prog)
+    hv.reset_vcpu(vm, 0x1000)
+    outcome = hv.run(vm, max_guest_instructions=max_instructions)
+    return hv, vm, outcome
+
+
+BASIC = """
+    li a0, 10
+    li a1, 0
+loop:
+    add a1, a1, a0
+    sub a0, a0, 1
+    bnez a0, loop
+    csrw SCRATCH, a1     ; privileged: becomes a callout
+    csrr a2, SCRATCH
+    li a0, 1
+    out 0xf0, a0
+    hlt
+"""
+
+
+def test_translated_kernel_code_computes_correctly():
+    _, vm, outcome = run_bt(BASIC)
+    assert outcome is RunOutcome.SHUTDOWN
+    assert vm.vcpus[0].cpu.regs[3] == 55
+    assert vm.vcpus[0].vcsr[7] == 55  # SCRATCH is virtual state
+
+
+def test_sensitive_instructions_are_corrected():
+    _, vm, outcome = run_bt("""
+    sti                  ; rewritten: must set the VIRTUAL IE
+    csrr a1, IE
+    csrr a2, MODE        ; must read virtual kernel mode (0)
+    cli
+    csrr a3, IE
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+    assert outcome is RunOutcome.SHUTDOWN
+    cpu = vm.vcpus[0].cpu
+    assert cpu.regs[2] == 1  # IE observed as set
+    assert cpu.regs[3] == 0  # MODE observed as kernel
+    assert cpu.regs[4] == 0  # CLI observed
+    assert cpu.mode == 1  # yet the real core never left user mode
+
+
+def test_block_cache_hits_on_reexecution():
+    _, vm, _ = run_bt(BASIC)
+    assert vm.stats.bt_block_hits > 0
+    assert vm.stats.bt_block_misses > 0
+    assert vm.stats.bt_block_misses < vm.stats.bt_block_hits
+
+
+def test_cache_disabled_retranslates_every_block():
+    _, with_cache, _ = run_bt(BASIC, cache=True)
+    _, without_cache, _ = run_bt(BASIC, cache=False)
+    assert (without_cache.stats.bt_translated_instructions
+            > 2 * with_cache.stats.bt_translated_instructions)
+    assert without_cache.stats.bt_block_hits == 0
+
+
+def test_chaining_reduces_dispatch_cost():
+    _, chained, _ = run_bt(BASIC, chaining=True)
+    _, unchained, _ = run_bt(BASIC, chaining=False)
+    assert chained.stats.bt_chained > 0
+    assert unchained.stats.bt_chained == 0
+    assert (chained.vcpus[0].cpu.cycles
+            < unchained.vcpus[0].cpu.cycles)
+
+
+def test_callouts_avoid_world_switches():
+    _, vm, _ = run_bt(BASIC)
+    # CSRW/CSRR ran as callouts: no PRIV-trap exits.
+    priv_exits = sum(
+        count for key, count in vm.exit_stats.counts.items()
+        if "guest_trap" in key and "csr" in key
+    )
+    assert priv_exits == 0
+    assert vm.stats.bt_callouts >= 2
+
+
+def test_syscall_reflection_inside_translator():
+    _, vm, outcome = run_bt("""
+    li a0, vec
+    csrw VBAR, a0
+    syscall 9
+    li a3, 123           ; after iret
+    li a0, 1
+    out 0xf0, a0
+    hlt
+vec:
+    csrr a1, ECAUSE
+    csrr a2, EVAL
+    iret
+""")
+    assert outcome is RunOutcome.SHUTDOWN
+    cpu = vm.vcpus[0].cpu
+    assert cpu.regs[2] == 1  # SYSCALL cause
+    assert cpu.regs[3] == 9
+    assert cpu.regs[4] == 123
+
+
+def test_invalidate_gfn_drops_translations():
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    vm = bt_vm(hv)
+    prog = Assembler().assemble(".org 0x1000\n" + BASIC)
+    hv.load_program(vm, prog)
+    hv.reset_vcpu(vm, 0x1000)
+    hv.run(vm, max_guest_instructions=200_000)
+    assert vm.bt.cached_blocks > 0
+    vm.bt.invalidate_gfn(1)  # kernel code lives in gfn 1
+    assert vm.bt.cached_blocks == 0
+
+
+def test_flush_clears_everything():
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    vm = bt_vm(hv)
+    prog = Assembler().assemble(".org 0x1000\n" + BASIC)
+    hv.load_program(vm, prog)
+    hv.reset_vcpu(vm, 0x1000)
+    hv.run(vm, max_guest_instructions=200_000)
+    vm.bt.flush()
+    assert vm.bt.cached_blocks == 0

@@ -1,0 +1,115 @@
+"""Direct tests of the in-monitor instruction emulator."""
+
+import pytest
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.emulate import emulate_guest_store, emulate_privileged
+from repro.cpu.isa import CSR, MODE_KERNEL, MODE_USER, Op, decode, encode
+from repro.util.errors import GuestError
+from repro.util.units import MIB
+
+
+@pytest.fixture
+def vcpu():
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    vm = hv.create_vm(GuestConfig(name="emu", memory_bytes=16 * MIB,
+                                  virt_mode=VirtMode.TRAP_EMULATE,
+                                  mmu_mode=MMUVirtMode.SHADOW))
+    hv.reset_vcpu(vm, 0x1000)
+    return vm.vcpus[0]
+
+
+def ins(op, **kw):
+    data = encode(op, **kw)
+    word = int.from_bytes(data[:4], "little")
+    imm = int.from_bytes(data[4:8], "little") if len(data) > 4 else 0
+    return decode(word, imm)
+
+
+class TestCSRs:
+    def test_csrr_reads_virtual_state(self, vcpu):
+        vcpu.vcsr[CSR.VBAR] = 0x4242
+        name = emulate_privileged(vcpu, ins(Op.CSRR, rd=1, simm12=int(CSR.VBAR)))
+        assert name == "csrr"
+        assert vcpu.cpu.regs[1] == 0x4242
+        assert vcpu.cpu.pc == 0x1004  # advanced
+
+    def test_csrr_counters_come_from_core(self, vcpu):
+        vcpu.cpu.cycles = 777
+        emulate_privileged(vcpu, ins(Op.CSRR, rd=1, simm12=int(CSR.CYCLES)))
+        assert vcpu.cpu.regs[1] == 777
+
+    def test_csrw_writes_virtual_not_real(self, vcpu):
+        vcpu.cpu.regs[1] = 0xABCD
+        emulate_privileged(vcpu, ins(Op.CSRW, ra=1, simm12=int(CSR.SCRATCH)))
+        assert vcpu.vcsr[CSR.SCRATCH] == 0xABCD
+        assert vcpu.cpu.csr[CSR.SCRATCH] == 0  # host CSR untouched
+
+    def test_csrw_ptbr_installs_guest_root(self, vcpu):
+        vcpu.cpu.regs[1] = 0x100000
+        emulate_privileged(vcpu, ins(Op.CSRW, ra=1, simm12=int(CSR.PTBR)))
+        assert vcpu.vcsr[CSR.PTBR] == 0x100000
+        assert vcpu.cpu.mmu.guest_root == 0x100000
+
+    def test_readonly_csr_write_rejected(self, vcpu):
+        with pytest.raises(GuestError):
+            emulate_privileged(vcpu, ins(Op.CSRW, ra=1, simm12=int(CSR.MODE)))
+
+
+class TestModeChanges:
+    def test_sti_cli_touch_virtual_ie(self, vcpu):
+        emulate_privileged(vcpu, ins(Op.STI))
+        assert vcpu.vcsr[CSR.IE] == 1
+        emulate_privileged(vcpu, ins(Op.CLI))
+        assert vcpu.vcsr[CSR.IE] == 0
+        assert vcpu.cpu.csr[CSR.IE] == 0
+
+    def test_iret_restores_virtual_mode_and_jumps(self, vcpu):
+        vcpu.vcsr[CSR.ESTATUS] = MODE_USER | (1 << 1)
+        vcpu.vcsr[CSR.EPC] = 0x200000
+        name = emulate_privileged(vcpu, ins(Op.IRET))
+        assert name == "iret"
+        assert vcpu.virtual_mode == MODE_USER
+        assert vcpu.vcsr[CSR.IE] == 1
+        assert vcpu.cpu.pc == 0x200000
+        assert vcpu.cpu.mode == MODE_USER  # real mode was already user
+
+    def test_iret_triggers_view_switch(self, vcpu):
+        mmu = vcpu.cpu.mmu
+        assert mmu.kernel_view
+        vcpu.vcsr[CSR.ESTATUS] = MODE_USER
+        vcpu.vcsr[CSR.EPC] = 0x200000
+        emulate_privileged(vcpu, ins(Op.IRET))
+        assert not mmu.kernel_view
+
+    def test_hlt_sets_virtual_halt(self, vcpu):
+        emulate_privileged(vcpu, ins(Op.HLT))
+        assert vcpu.halted
+
+
+class TestIO:
+    def test_out_reaches_virtual_bus(self, vcpu):
+        vcpu.cpu.regs[1] = ord("Z")
+        emulate_privileged(vcpu, ins(Op.OUT, ra=1, simm12=0x10),
+                           port_bus=vcpu.vm.port_bus)
+        assert vcpu.vm.devices["console"].text == "Z"
+
+    def test_in_reads_virtual_bus(self, vcpu):
+        emulate_privileged(vcpu, ins(Op.IN, rd=2, simm12=0x11),
+                           port_bus=vcpu.vm.port_bus)
+        assert vcpu.cpu.regs[2] == 1  # console status
+
+    def test_io_without_bus_rejected(self, vcpu):
+        with pytest.raises(GuestError):
+            emulate_privileged(vcpu, ins(Op.IN, rd=1, simm12=0x10))
+
+
+class TestGuestStore:
+    def test_non_store_rejected(self, vcpu):
+        with pytest.raises(GuestError):
+            emulate_guest_store(vcpu, ins(Op.ADD), vcpu.vm.guest_mem,
+                                vcpu.cpu.mmu)
+
+    def test_unemulatable_op_rejected(self, vcpu):
+        with pytest.raises(GuestError):
+            emulate_privileged(vcpu, ins(Op.ADD))

@@ -1,0 +1,233 @@
+"""Hypervisor: VM lifecycle, exits, hypercalls, ballooning."""
+
+import pytest
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import HypercallNumbers, RunOutcome, shared_info_gfn
+from repro.cpu.assembler import Assembler
+from repro.util.errors import ConfigError, GuestError
+from repro.util.units import MIB
+
+GUEST_MEM = 16 * MIB
+
+
+def make_vm(hv, name="vm", virt_mode=VirtMode.HW_ASSIST,
+            mmu_mode=MMUVirtMode.NESTED, **kw):
+    return hv.create_vm(GuestConfig(name=name, memory_bytes=GUEST_MEM,
+                                    virt_mode=virt_mode, mmu_mode=mmu_mode,
+                                    **kw))
+
+
+def load_and_run(hv, vm, src, max_instructions=100_000):
+    prog = Assembler().assemble(".org 0x1000\n" + src)
+    hv.load_program(vm, prog)
+    hv.reset_vcpu(vm, prog.entry if prog.symbols.get("start") else 0x1000)
+    return hv.run(vm, max_guest_instructions=max_instructions)
+
+
+class TestLifecycle:
+    def test_create_allocates_guest_memory(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        free_before = hv.allocator.free_frames
+        vm = make_vm(hv)
+        assert free_before - hv.allocator.free_frames >= vm.num_pages
+        assert vm.name in hv.vms
+
+    def test_duplicate_name_rejected(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        make_vm(hv, name="x")
+        with pytest.raises(ConfigError):
+            make_vm(hv, name="x")
+
+    def test_destroy_returns_all_frames(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        before = hv.allocator.allocated_frames
+        vm = make_vm(hv)
+        hv.destroy_vm(vm)
+        assert hv.allocator.allocated_frames == before
+        assert vm.name not in hv.vms
+
+    def test_device_accessor(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        assert vm.device("console") is vm.devices["console"]
+        with pytest.raises(ConfigError):
+            vm.device("flux_capacitor")
+
+    def test_multiple_vms_isolated_memory(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        a = make_vm(hv, name="a")
+        b = make_vm(hv, name="b")
+        a.guest_mem.write_u32(0x1000, 0xAAAA)
+        b.guest_mem.write_u32(0x1000, 0xBBBB)
+        assert a.guest_mem.read_u32(0x1000) == 0xAAAA
+        assert b.guest_mem.read_u32(0x1000) == 0xBBBB
+
+
+class TestRunLoop:
+    def test_shutdown_via_power_port(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        outcome = load_and_run(hv, vm, """
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert outcome is RunOutcome.SHUTDOWN
+        assert vm.devices["power"].code == 1
+
+    def test_halted_when_idle_without_timer(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        outcome = load_and_run(hv, vm, "    hlt\n")
+        assert outcome is RunOutcome.HALTED
+
+    def test_instruction_limit(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        outcome = load_and_run(hv, vm, "loop: jmp loop\n",
+                               max_instructions=5000)
+        assert outcome is RunOutcome.INSTR_LIMIT
+
+    def test_io_exit_reaches_virtual_device(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        load_and_run(hv, vm, """
+    li a0, 72
+    out 0x10, a0
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.devices["console"].text == "H"
+        assert vm.exit_stats.counts.get("io_out:port_0x10") == 1
+
+    def test_in_exit_returns_device_value(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        load_and_run(hv, vm, """
+    in a1, 0x11          ; console status port reads 1
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.vcpus[0].cpu.regs[2] == 1
+
+    def test_triple_fault_is_guest_error(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        with pytest.raises(GuestError, match="triple fault"):
+            load_and_run(hv, vm, "    syscall 0\n    hlt\n")
+
+    def test_timer_wakes_halted_guest(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        outcome = load_and_run(hv, vm, """
+    li a0, vec
+    csrw VBAR, a0
+    li t0, 5000
+    out 0x40, t0         ; timer period (cycles)
+    li t0, 1
+    out 0x41, t0         ; one-shot
+    sti
+    hlt                  ; sleep until the timer fires
+    li a0, 1
+    out 0xf0, a0         ; shutdown proves we woke
+    hlt
+vec:
+    in t1, 0x20
+    out 0x20, t1         ; ack
+    iret
+""")
+        assert outcome is RunOutcome.SHUTDOWN
+        assert vm.devices["timer"].expirations == 1
+
+
+class TestHypercalls:
+    def test_console_putc_hypercall(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        load_and_run(hv, vm, f"""
+    li a0, 80            ; 'P'
+    vmcall {int(HypercallNumbers.CONSOLE_PUTC)}
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.devices["console"].text == "P"
+        assert vm.stats.hypercalls == 1
+
+    def test_unknown_hypercall_returns_minus_one(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        load_and_run(hv, vm, """
+    vmcall 999
+    mov a3, a0
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.vcpus[0].cpu.regs[4] == 0xFFFFFFFF
+
+    def test_halt_hypercall(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        outcome = load_and_run(hv, vm, f"""
+    vmcall {int(HypercallNumbers.HALT)}
+    hlt
+""")
+        assert outcome is RunOutcome.HALTED
+
+    def test_balloon_give_and_take(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        free_before = hv.allocator.free_frames
+        # Give away gfn 2000 (unused high memory), then take it back.
+        load_and_run(hv, vm, f"""
+    li a0, 2000
+    vmcall {int(HypercallNumbers.BALLOON_GIVE)}
+    mov a3, a0
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.vcpus[0].cpu.regs[4] == 0
+        assert 2000 in vm.ballooned_gfns
+        assert hv.allocator.free_frames == free_before + 1
+        assert not vm.guest_mem.is_mapped(2000)
+
+    def test_balloon_give_bad_gfn_fails(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        load_and_run(hv, vm, f"""
+    li a0, 999999
+    vmcall {int(HypercallNumbers.BALLOON_GIVE)}
+    mov a3, a0
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.vcpus[0].cpu.regs[4] == 0xFFFFFFFF
+
+
+class TestSharedInfo:
+    def test_shared_info_gfn_is_top_page(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv, virt_mode=VirtMode.PARAVIRT,
+                     mmu_mode=MMUVirtMode.SHADOW)
+        assert shared_info_gfn(vm) == vm.num_pages - 1
+
+
+class TestExitAccounting:
+    def test_exit_stats_cycles_match_vmm_cycles(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = make_vm(hv)
+        load_and_run(hv, vm, """
+    li a0, 65
+    out 0x10, a0
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+        assert vm.exit_stats.total_cycles == vm.stats.vmm_cycles
+        assert vm.exit_stats.total_exits == vm.stats.world_switches

@@ -1,0 +1,174 @@
+"""Nested MMU: 2-D walks, EPT violations, dirty logging, walk costs."""
+
+import pytest
+
+from repro.core.nested import NestedMMU
+from repro.core.vm import GuestMemory
+from repro.cpu.exits import ExitReason, VMExit
+from repro.mem.costs import CostModel
+from repro.mem.paging import (
+    AccessType,
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageFault,
+    make_pte,
+    split_vaddr,
+)
+from repro.mem.physmem import FrameAllocator, PhysicalMemory
+from repro.util.units import MIB, PAGE_SIZE
+
+GUEST_PAGES = 64
+ROOT_GPA = 0x10000
+PT_GPA = 0x11000
+
+
+class NestedEnv:
+    def __init__(self, prealloc=True):
+        self.pm = PhysicalMemory(4 * MIB)
+        self.alloc = FrameAllocator(self.pm, reserved_frames=8)
+        self.gm = GuestMemory(self.pm, GUEST_PAGES)
+        self.mmu = NestedMMU(self.pm, self.alloc, self.gm, CostModel())
+        if prealloc:
+            for gfn in range(GUEST_PAGES):
+                hfn = self.alloc.alloc()
+                self.gm.map_page(gfn, hfn)
+                self.mmu.ept_map(gfn, hfn)
+
+    def guest_map(self, va, gfn, flags):
+        dir_idx, tbl_idx, _ = split_vaddr(va)
+        pde_gpa = ROOT_GPA + dir_idx * 4
+        pde = self.gm.read_u32(pde_gpa)
+        if not pde & PTE_PRESENT:
+            self.gm.write_u32(
+                pde_gpa,
+                make_pte(PT_GPA >> 12, PTE_PRESENT | PTE_WRITABLE | PTE_USER),
+            )
+        self.gm.write_u32(PT_GPA + tbl_idx * 4,
+                          make_pte(gfn, flags | PTE_PRESENT))
+
+
+def test_real_mode_goes_through_ept():
+    env = NestedEnv()
+    pa, cycles = env.mmu.translate(0x2000, AccessType.READ, user=False)
+    assert pa == env.gm.gpa_to_hpa(0x2000)
+    assert cycles > 0  # one EPT walk
+
+
+def test_two_dimensional_walk_cost():
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    costs = env.mmu.costs
+    pa, cycles = env.mmu.translate(0x40000050, AccessType.READ, user=True)
+    assert pa == (env.gm.map[5] << 12) | 0x50
+    # 2 guest levels x (2 EPT + 1 entry read) + final 2 EPT refs = 8,
+    # plus A-bit write-backs go through 2-ref EPT walks each (PDE+PTE).
+    base_refs = 8
+    ad_refs = 4  # first touch sets A on both guest levels
+    assert cycles == costs.tlb_hit_cycles + (base_refs + ad_refs) * costs.mem_ref_cycles
+    # Second access hits the TLB.
+    _, c2 = env.mmu.translate(0x40000054, AccessType.READ, user=True)
+    assert c2 == costs.tlb_hit_cycles
+
+
+def test_guest_ad_bits_maintained():
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    _d, tbl_idx, _ = split_vaddr(0x40000000)
+    pte = env.gm.read_u32(PT_GPA + tbl_idx * 4)
+    assert pte & PTE_ACCESSED and not pte & PTE_DIRTY
+    env.mmu.translate(0x40000000, AccessType.WRITE, user=True)
+    pte = env.gm.read_u32(PT_GPA + tbl_idx * 4)
+    assert pte & PTE_DIRTY
+
+
+def test_guest_fault_is_guest_visible():
+    env = NestedEnv()
+    env.mmu.set_root(ROOT_GPA)
+    with pytest.raises(PageFault):
+        env.mmu.translate(0x40000000, AccessType.READ, user=True)
+
+
+def test_guest_permission_checks():
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE)  # kernel only
+    env.mmu.set_root(ROOT_GPA)
+    with pytest.raises(PageFault):
+        env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    env.mmu.translate(0x40000000, AccessType.READ, user=False)
+
+
+def test_ept_violation_on_unmapped_gfn():
+    env = NestedEnv(prealloc=False)
+    with pytest.raises(VMExit) as info:
+        env.mmu.translate(0x3000, AccessType.READ, user=False)
+    assert info.value.reason is ExitReason.PAGE_FAULT
+    assert info.value.qual("kind") == "ept_violation"
+    assert info.value.qual("gpa") == 0x3000
+
+
+def test_dirty_log_protect_and_unprotect():
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    env.mmu.translate(0x40000000, AccessType.WRITE, user=True)
+    env.mmu.write_protect_gfn(5)
+    with pytest.raises(VMExit) as info:
+        env.mmu.translate(0x40000000, AccessType.WRITE, user=True)
+    assert info.value.qual("kind") == "dirty_log"
+    assert info.value.qual("gfn") == 5
+    # reads still fine
+    env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    env.mmu.unprotect_gfn(5)
+    env.mmu.translate(0x40000000, AccessType.WRITE, user=True)
+
+
+def test_dirty_logging_catches_guest_pt_pages_via_ad_writes():
+    # Setting the guest A bit writes guest PT memory, which must respect
+    # EPT write protection -- PT pages get dirty-logged automatically.
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    pt_gfn = PT_GPA >> 12
+    env.mmu.write_protect_gfn(pt_gfn)
+    with pytest.raises(VMExit) as info:
+        env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    assert info.value.qual("kind") == "dirty_log"
+    assert info.value.qual("gfn") == pt_gfn
+
+
+def test_ept_unmap_forces_refault():
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    env.mmu.ept_unmap(5)
+    with pytest.raises(VMExit):
+        env.mmu.translate(0x40000000, AccessType.READ, user=True)
+
+
+def test_set_root_flushes_tlb():
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    assert len(env.mmu.tlb) > 0
+    env.mmu.set_root(ROOT_GPA)
+    assert len(env.mmu.tlb) == 0
+
+
+def test_lazy_write_caching_after_dirty_round():
+    # After a read fill, the TLB entry is not write-permitting, so the
+    # next write re-walks (and can be caught by dirty logging).
+    env = NestedEnv()
+    env.guest_map(0x40000000, gfn=5, flags=PTE_WRITABLE | PTE_USER)
+    env.mmu.set_root(ROOT_GPA)
+    env.mmu.translate(0x40000000, AccessType.READ, user=True)
+    env.mmu.write_protect_gfn(5)
+    with pytest.raises(VMExit):
+        env.mmu.translate(0x40000000, AccessType.WRITE, user=True)

@@ -1,0 +1,150 @@
+"""VM snapshot/restore and the binary codec."""
+
+import pytest
+
+from repro.core import (
+    GuestConfig,
+    Hypervisor,
+    MMUVirtMode,
+    VirtMode,
+    VMSnapshot,
+    restore_vm,
+    snapshot_vm,
+)
+from repro.core.hypervisor import HypercallNumbers, RunOutcome
+from repro.guest import KernelOptions, build_kernel, read_diag, workloads
+from repro.guest.workloads import expected_memtouch
+from repro.util.errors import ConfigError
+from repro.util.units import MIB
+
+GUEST_MEM = 16 * MIB
+
+
+def running_vm(hv, name="snap", virt_mode=VirtMode.HW_ASSIST,
+               mmu_mode=MMUVirtMode.NESTED, pages=20, passes=1500,
+               warmup=120_000):
+    vm = hv.create_vm(GuestConfig(name=name, memory_bytes=GUEST_MEM,
+                                  virt_mode=virt_mode, mmu_mode=mmu_mode))
+    kernel = build_kernel(KernelOptions(
+        pv=virt_mode is VirtMode.PARAVIRT, memory_bytes=GUEST_MEM))
+    hv.load_program(vm, kernel)
+    hv.load_program(vm, workloads.memtouch(pages, passes))
+    hv.reset_vcpu(vm, kernel.entry)
+    hv.run(vm, max_guest_instructions=warmup)
+    return vm
+
+
+class TestRoundtrip:
+    def test_codec_roundtrip_is_identity(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = running_vm(hv)
+        snap = snapshot_vm(vm)
+        decoded = VMSnapshot.from_bytes(snap.to_bytes())
+        assert decoded.pc == snap.pc
+        assert decoded.regs == snap.regs
+        assert decoded.csr == snap.csr
+        assert decoded.vcsr == snap.vcsr
+        assert decoded.pages == snap.pages
+        assert decoded.mapped_gfns == snap.mapped_gfns
+        assert decoded.console_text == snap.console_text
+        assert decoded.timer_state == snap.timer_state
+        assert decoded.config.virt_mode == snap.config.virt_mode
+        # re-encoding is stable
+        assert decoded.to_bytes() == snap.to_bytes()
+
+    def test_zero_pages_elided(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = running_vm(hv)
+        snap = snapshot_vm(vm)
+        assert len(snap.pages) < 200  # of 4096 mapped
+        assert len(snap.mapped_gfns) == vm.num_pages
+
+    def test_blob_is_compact(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = running_vm(hv)
+        blob = snapshot_vm(vm).to_bytes()
+        assert len(blob) < 1 * MIB  # vs 16 MiB of guest RAM + 2 MiB disks
+
+
+class TestRestore:
+    @pytest.mark.parametrize("vmode,mmode", [
+        (VirtMode.HW_ASSIST, MMUVirtMode.NESTED),
+        (VirtMode.HW_ASSIST, MMUVirtMode.SHADOW),
+        (VirtMode.TRAP_EMULATE, MMUVirtMode.SHADOW),
+    ])
+    def test_restored_vm_finishes_correctly(self, vmode, mmode):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = running_vm(hv, virt_mode=vmode, mmu_mode=mmode)
+        snap = snapshot_vm(vm)
+        clone = restore_vm(hv, snap, name="clone")
+        outcome = hv.run(clone, max_guest_instructions=60_000_000)
+        diag = read_diag(clone.guest_mem)
+        assert outcome is RunOutcome.SHUTDOWN
+        assert diag.user_result == expected_memtouch(20, 1500)
+
+    def test_clone_and_original_diverge_independently(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = running_vm(hv)
+        snap = snapshot_vm(vm)
+        clone = restore_vm(hv, snap, name="clone")
+        clone.guest_mem.write_u32(0x9000 + 64, 0xDEAD)  # scribble on clone
+        assert vm.guest_mem.read_u32(0x9000 + 64) != 0xDEAD
+
+    def test_restore_on_different_hypervisor(self):
+        hv1 = Hypervisor(memory_bytes=64 * MIB)
+        hv2 = Hypervisor(memory_bytes=64 * MIB)
+        vm = running_vm(hv1)
+        clone = restore_vm(hv2, snapshot_vm(vm))
+        outcome = hv2.run(clone, max_guest_instructions=60_000_000)
+        assert outcome is RunOutcome.SHUTDOWN
+
+    def test_console_history_preserved(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = running_vm(hv)
+        clone = restore_vm(hv, snapshot_vm(vm), name="c2")
+        assert clone.devices["console"].text == vm.devices["console"].text
+
+    def test_ballooned_pages_stay_unmapped(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = hv.create_vm(GuestConfig(name="b", memory_bytes=GUEST_MEM,
+                                      virt_mode=VirtMode.HW_ASSIST,
+                                      mmu_mode=MMUVirtMode.NESTED))
+        from repro.cpu.assembler import Assembler
+        prog = Assembler().assemble(f"""
+.org 0x1000
+    li a0, 3000
+    vmcall {int(HypercallNumbers.BALLOON_GIVE)}
+    hlt
+""")
+        hv.load_program(vm, prog)
+        hv.reset_vcpu(vm, 0x1000)
+        hv.run(vm, max_guest_instructions=100)
+        snap = snapshot_vm(vm)
+        clone = restore_vm(hv, snap, name="bc")
+        assert not clone.guest_mem.is_mapped(3000)
+        assert 3000 in clone.ballooned_gfns
+
+
+class TestCodecErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ConfigError, match="magic"):
+            VMSnapshot.from_bytes(b"XXXX" + b"\x00" * 64)
+
+    def test_truncated(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        blob = snapshot_vm(running_vm(hv)).to_bytes()
+        with pytest.raises(ConfigError, match="truncated"):
+            VMSnapshot.from_bytes(blob[: len(blob) // 2])
+
+    def test_trailing_garbage(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        blob = snapshot_vm(running_vm(hv)).to_bytes()
+        with pytest.raises(ConfigError, match="trailing"):
+            VMSnapshot.from_bytes(blob + b"junk")
+
+    def test_bad_version(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        blob = bytearray(snapshot_vm(running_vm(hv)).to_bytes())
+        blob[4:8] = (99).to_bytes(4, "little")
+        with pytest.raises(ConfigError, match="version"):
+            VMSnapshot.from_bytes(bytes(blob))

@@ -1,0 +1,40 @@
+"""Hypervisor exit tracing via EventLog."""
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.cpu.assembler import Assembler
+from repro.util.eventlog import EventLog
+from repro.util.units import MIB
+
+
+def test_exits_are_traced_with_details():
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    hv.trace = EventLog(capacity=1000)
+    vm = hv.create_vm(GuestConfig(name="t", memory_bytes=16 * MIB,
+                                  virt_mode=VirtMode.HW_ASSIST,
+                                  mmu_mode=MMUVirtMode.NESTED))
+    prog = Assembler().assemble("""
+.org 0x1000
+    li a0, 88
+    out 0x10, a0
+    li a0, 1
+    out 0xf0, a0
+    hlt
+""")
+    hv.load_program(vm, prog)
+    hv.reset_vcpu(vm, 0x1000)
+    hv.run(vm, max_guest_instructions=1000)
+
+    events = list(hv.trace.filter(category="vmexit"))
+    assert len(events) == vm.exit_stats.total_exits
+    console_writes = [e for e in events if e.payload.get("detail") == "port_0x10"]
+    assert len(console_writes) == 1
+    assert console_writes[0].payload["vm"] == "t"
+    assert console_writes[0].payload["cycles"] > 0
+    # Times are monotone non-decreasing.
+    times = [e.time for e in events]
+    assert times == sorted(times)
+
+
+def test_tracing_disabled_by_default():
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    assert hv.trace is None

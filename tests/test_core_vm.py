@@ -1,0 +1,121 @@
+"""GuestConfig validation and GuestMemory semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.modes import MMUVirtMode, VirtMode
+from repro.core.vm import GuestConfig, GuestMemory
+from repro.mem.physmem import PhysicalMemory
+from repro.util.errors import ConfigError, MemoryError_
+from repro.util.units import MIB, PAGE_SIZE
+
+
+class TestGuestConfig:
+    def test_defaults_validate(self):
+        GuestConfig().validate()
+
+    def test_unaligned_memory_rejected(self):
+        with pytest.raises(ConfigError):
+            GuestConfig(memory_bytes=PAGE_SIZE + 1).validate()
+
+    def test_native_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            GuestConfig(virt_mode=VirtMode.NATIVE).validate()
+
+    @pytest.mark.parametrize("mode", [
+        VirtMode.TRAP_EMULATE,
+        VirtMode.BINARY_TRANSLATION,
+        VirtMode.PARAVIRT,
+    ])
+    def test_nested_requires_hw_assist(self, mode):
+        with pytest.raises(ConfigError):
+            GuestConfig(virt_mode=mode, mmu_mode=MMUVirtMode.NESTED).validate()
+
+    def test_demand_paging_requires_nested(self):
+        with pytest.raises(ConfigError):
+            GuestConfig(
+                virt_mode=VirtMode.HW_ASSIST,
+                mmu_mode=MMUVirtMode.SHADOW,
+                prealloc=False,
+            ).validate()
+
+
+class TestGuestMemory:
+    @pytest.fixture
+    def gm(self):
+        pm = PhysicalMemory(2 * MIB)
+        gm = GuestMemory(pm, num_pages=16)
+        for gfn in range(16):
+            gm.map_page(gfn, gfn + 100)
+        return gm
+
+    def test_translation(self, gm):
+        assert gm.gpa_to_hpa(0) == 100 * PAGE_SIZE
+        assert gm.gpa_to_hpa(3 * PAGE_SIZE + 17) == 103 * PAGE_SIZE + 17
+
+    def test_unmapped_raises(self, gm):
+        gm.unmap_page(5)
+        with pytest.raises(MemoryError_):
+            gm.gpa_to_hpa(5 * PAGE_SIZE)
+        with pytest.raises(MemoryError_):
+            gm.unmap_page(5)
+
+    def test_gfn_bounds(self, gm):
+        with pytest.raises(MemoryError_):
+            gm.map_page(16, 1)
+        with pytest.raises(MemoryError_):
+            gm.map_page(-1, 1)
+
+    def test_scalar_roundtrip(self, gm):
+        gm.write_u32(0x100, 0xABCD1234)
+        assert gm.read_u32(0x100) == 0xABCD1234
+        gm.write_u8(0x104, 0x7F)
+        assert gm.read_u8(0x104) == 0x7F
+
+    def test_page_crossing_bulk_access(self, gm):
+        data = bytes(range(200)) * 30  # 6000 bytes, crosses pages
+        gm.write_bytes(PAGE_SIZE - 100, data)
+        assert gm.read_bytes(PAGE_SIZE - 100, len(data)) == data
+        # And the underlying host frames really are discontiguous.
+        assert gm.map[0] + 1 == gm.map[1]  # adjacency is incidental here
+
+    def test_noncontiguous_backing(self):
+        pm = PhysicalMemory(1 * MIB)
+        gm = GuestMemory(pm, num_pages=2)
+        gm.map_page(0, 50)
+        gm.map_page(1, 10)  # backwards on purpose
+        data = b"x" * 100 + b"y" * 100
+        gm.write_bytes(PAGE_SIZE - 100, data)
+        assert gm.read_bytes(PAGE_SIZE - 100, 200) == data
+        assert pm.read_bytes(50 * PAGE_SIZE + PAGE_SIZE - 100, 100) == b"x" * 100
+        assert pm.read_bytes(10 * PAGE_SIZE, 100) == b"y" * 100
+
+    def test_write_hook_fires_per_touched_page(self, gm):
+        touched = []
+        gm.write_hook = touched.append
+        gm.write_bytes(PAGE_SIZE - 4, b"12345678")  # spans pages 0 and 1
+        assert touched == [0, 1]
+        touched.clear()
+        gm.write_u32(5 * PAGE_SIZE, 1)
+        assert touched == [5]
+        # reads never fire the hook
+        touched.clear()
+        gm.read_bytes(0, PAGE_SIZE)
+        assert touched == []
+
+    def test_gfn_page_accessors(self, gm):
+        gm.write_gfn(2, b"q" * PAGE_SIZE)
+        assert gm.read_gfn(2) == b"q" * PAGE_SIZE
+        with pytest.raises(MemoryError_):
+            gm.write_gfn(2, b"short")
+
+    @given(st.integers(min_value=0, max_value=16 * PAGE_SIZE - 256),
+           st.binary(min_size=1, max_size=256))
+    def test_bulk_roundtrip_property(self, offset, data):
+        pm = PhysicalMemory(2 * MIB)
+        gm = GuestMemory(pm, num_pages=16)
+        # scatter the mapping to stress page-crossing logic
+        for gfn in range(16):
+            gm.map_page(gfn, 200 + (gfn * 7) % 16)
+        gm.write_bytes(offset, data)
+        assert gm.read_bytes(offset, len(data)) == data

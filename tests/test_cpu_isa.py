@@ -1,0 +1,127 @@
+"""ISA encoding/decoding and sensitivity classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cpu.isa import (
+    CSR,
+    Cause,
+    DecodeError,
+    IMM_FLAG,
+    Op,
+    PRIVILEGED_OPS,
+    PUBLIC_CSRS,
+    SENSITIVE_UNPRIV_OPS,
+    decode,
+    encode,
+    is_privileged,
+    is_sensitive,
+)
+
+
+def _decode_bytes(data: bytes):
+    word = int.from_bytes(data[:4], "little")
+    imm = int.from_bytes(data[4:8], "little") if len(data) > 4 else 0
+    return decode(word, imm)
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        ins = _decode_bytes(encode(Op.ADD, rd=1, ra=2, rb=3))
+        assert ins.op is Op.ADD
+        assert (ins.rd, ins.ra, ins.rb) == (1, 2, 3)
+        assert not ins.has_imm32 and ins.length == 4
+
+    def test_imm32_roundtrip(self):
+        ins = _decode_bytes(encode(Op.ADD, rd=1, ra=2, imm32=0xDEADBEEF))
+        assert ins.has_imm32 and ins.length == 8
+        assert ins.imm32 == 0xDEADBEEF
+        is_imm, value = ins.operand_b
+        assert is_imm and value == 0xDEADBEEF
+
+    def test_simm12_sign_extension(self):
+        ins = _decode_bytes(encode(Op.LD, rd=1, ra=2, simm12=-4))
+        assert ins.simm12 == -4
+        ins = _decode_bytes(encode(Op.LD, rd=1, ra=2, simm12=2047))
+        assert ins.simm12 == 2047
+
+    def test_operand_b_register_form(self):
+        ins = _decode_bytes(encode(Op.SUB, rd=1, ra=2, rb=7))
+        is_imm, value = ins.operand_b
+        assert not is_imm and value == 7
+
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Op.ADD, rd=16)
+        with pytest.raises(ValueError):
+            encode(Op.ADD, ra=-1)
+
+    def test_simm12_range_checked(self):
+        with pytest.raises(ValueError):
+            encode(Op.LD, simm12=2048)
+        with pytest.raises(ValueError):
+            encode(Op.LD, simm12=-2049)
+
+    def test_invalid_opcode_rejected(self):
+        with pytest.raises(DecodeError):
+            decode(0x7F << 24)
+
+    @given(
+        st.sampled_from(sorted(Op)),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=-2048, max_value=2047),
+        st.one_of(st.none(), st.integers(min_value=0, max_value=0xFFFFFFFF)),
+    )
+    def test_roundtrip_property(self, op, rd, ra, rb, simm12, imm32):
+        data = encode(op, rd, ra, rb, simm12, imm32)
+        ins = _decode_bytes(data)
+        assert ins.op is op
+        assert (ins.rd, ins.ra, ins.rb, ins.simm12) == (rd, ra, rb, simm12)
+        if imm32 is None:
+            assert not ins.has_imm32 and len(data) == 4
+        else:
+            assert ins.imm32 == imm32 and len(data) == 8
+
+
+class TestSensitivityClassification:
+    def test_privileged_ops(self):
+        for op in PRIVILEGED_OPS:
+            assert is_privileged(op)
+        assert not is_privileged(Op.ADD)
+        assert not is_privileged(Op.SYSCALL)  # traps by design, not priv
+
+    def test_csrr_split_by_register(self):
+        assert not is_privileged(Op.CSRR, int(CSR.MODE))
+        assert not is_privileged(Op.CSRR, int(CSR.CYCLES))
+        assert is_privileged(Op.CSRR, int(CSR.PTBR))
+        assert is_privileged(Op.CSRR, int(CSR.ECAUSE))
+        assert is_privileged(Op.CSRR, 999)  # unknown CSR
+
+    def test_sensitive_unprivileged_set(self):
+        assert is_sensitive(Op.STI)
+        assert is_sensitive(Op.CLI)
+        assert is_sensitive(Op.CSRR, int(CSR.MODE))
+        assert is_sensitive(Op.CSRR, int(CSR.IE))
+        assert not is_sensitive(Op.CSRR, int(CSR.CYCLES))
+        assert not is_sensitive(Op.CSRW, int(CSR.IE))  # traps: fine
+
+    def test_popek_goldberg_violation_exists(self):
+        # The ISA deliberately has sensitive instructions that are not
+        # privileged -- the premise of E1.
+        violators = set(SENSITIVE_UNPRIV_OPS)
+        assert violators and not (violators & PRIVILEGED_OPS)
+
+    def test_public_csrs_include_the_trap(self):
+        assert CSR.MODE in PUBLIC_CSRS and CSR.IE in PUBLIC_CSRS
+
+
+def test_cause_values_distinct():
+    values = [int(c) for c in Cause]
+    assert len(values) == len(set(values))
+
+
+def test_imm_flag_bit():
+    data = encode(Op.MOVI, rd=1, imm32=5)
+    assert data[3] & IMM_FLAG

@@ -1,0 +1,149 @@
+"""Block and network device models (emulated flavours)."""
+
+import pytest
+
+from repro.devices.block import (
+    BLK_CMD,
+    BLK_COUNT,
+    BLK_DMA,
+    BLK_NSECT,
+    BLK_SECTOR,
+    BLK_STATUS,
+    BlockDevice,
+    CMD_READ,
+    CMD_WRITE,
+    SECTOR_SIZE,
+    STATUS_ERROR,
+    STATUS_READY,
+)
+from repro.devices.irq import InterruptController
+from repro.devices.net import (
+    NET_RX_ADDR,
+    NET_RX_CMD,
+    NET_RX_LEN,
+    NET_STATUS,
+    NET_TX_ADDR,
+    NET_TX_CMD,
+    NET_TX_LEN,
+    NetDevice,
+)
+from repro.mem.physmem import PhysicalMemory
+from repro.util.errors import DeviceError
+from repro.util.units import MIB
+
+
+class SinkStub:
+    def __init__(self):
+        self.count = 0
+
+    def assert_irq(self, cause):
+        self.count += 1
+
+
+@pytest.fixture
+def env():
+    pm = PhysicalMemory(1 * MIB)
+    sink = SinkStub()
+    pic = InterruptController(sink)
+    return pm, pic, sink
+
+
+class TestBlockDevice:
+    def test_write_then_read_roundtrip(self, env):
+        pm, pic, sink = env
+        disk = BlockDevice(pm, pic.line(1), capacity_sectors=16)
+        payload = bytes(range(256)) * 2  # one sector
+        pm.write_bytes(0x4000, payload)
+        disk.port_write(BLK_SECTOR, 3)
+        disk.port_write(BLK_COUNT, 1)
+        disk.port_write(BLK_DMA, 0x4000)
+        disk.port_write(BLK_CMD, CMD_WRITE)
+        assert disk.port_read(BLK_STATUS) == STATUS_READY
+        assert disk.read_sectors(3, 1) == payload
+        # read back to a different buffer
+        disk.port_write(BLK_DMA, 0x5000)
+        disk.port_write(BLK_CMD, CMD_READ)
+        assert pm.read_bytes(0x5000, SECTOR_SIZE) == payload
+        assert disk.reads == 1 and disk.writes == 1
+        assert sink.count == 2  # one IRQ per completed command
+
+    def test_multi_sector_transfer(self, env):
+        pm, pic, _ = env
+        disk = BlockDevice(pm, pic.line(1), capacity_sectors=16)
+        data = b"AB" * (SECTOR_SIZE)  # two sectors worth
+        pm.write_bytes(0x4000, data)
+        disk.port_write(BLK_SECTOR, 0)
+        disk.port_write(BLK_COUNT, 2)
+        disk.port_write(BLK_DMA, 0x4000)
+        disk.port_write(BLK_CMD, CMD_WRITE)
+        assert disk.read_sectors(0, 2) == data
+        assert disk.sectors_transferred == 2
+
+    def test_out_of_range_sets_error_status(self, env):
+        pm, pic, _ = env
+        disk = BlockDevice(pm, pic.line(1), capacity_sectors=4)
+        disk.port_write(BLK_SECTOR, 3)
+        disk.port_write(BLK_COUNT, 2)  # runs past the end
+        disk.port_write(BLK_DMA, 0x4000)
+        disk.port_write(BLK_CMD, CMD_READ)
+        assert disk.port_read(BLK_STATUS) == STATUS_ERROR
+
+    def test_bad_command_is_error(self, env):
+        pm, pic, _ = env
+        disk = BlockDevice(pm, pic.line(1))
+        disk.port_write(BLK_COUNT, 1)
+        disk.port_write(BLK_CMD, 99)
+        assert disk.port_read(BLK_STATUS) == STATUS_ERROR
+
+    def test_capacity_port(self, env):
+        pm, pic, _ = env
+        disk = BlockDevice(pm, pic.line(1), capacity_sectors=77)
+        assert disk.port_read(BLK_NSECT) == 77
+
+    def test_load_image(self, env):
+        pm, pic, _ = env
+        disk = BlockDevice(pm, pic.line(1), capacity_sectors=4)
+        disk.load_image(b"boot", sector=1)
+        assert disk.read_sectors(1, 1)[:4] == b"boot"
+        with pytest.raises(DeviceError):
+            disk.load_image(b"x" * (5 * SECTOR_SIZE))
+
+
+class TestNetDevice:
+    def test_transmit(self, env):
+        pm, pic, _ = env
+        sent = []
+        nic = NetDevice(pm, pic.line(2), tx_sink=sent.append)
+        pm.write_bytes(0x4000, b"hello frame")
+        nic.port_write(NET_TX_ADDR, 0x4000)
+        nic.port_write(NET_TX_LEN, 11)
+        nic.port_write(NET_TX_CMD, 1)
+        assert sent == [b"hello frame"]
+        assert nic.tx_frames == 1 and nic.tx_bytes == 11
+
+    def test_receive_path(self, env):
+        pm, pic, sink = env
+        nic = NetDevice(pm, pic.line(2))
+        nic.inject_rx(b"incoming")
+        assert sink.count == 1
+        assert nic.port_read(NET_STATUS) & 2  # rx waiting
+        nic.port_write(NET_RX_ADDR, 0x6000)
+        nic.port_write(NET_RX_CMD, 1)
+        assert nic.port_read(NET_RX_LEN) == 8
+        assert pm.read_bytes(0x6000, 8) == b"incoming"
+        assert not nic.port_read(NET_STATUS) & 2
+
+    def test_rx_pop_when_empty(self, env):
+        pm, pic, _ = env
+        nic = NetDevice(pm, pic.line(2))
+        nic.port_write(NET_RX_ADDR, 0x6000)
+        nic.port_write(NET_RX_CMD, 1)
+        assert nic.port_read(NET_RX_LEN) == 0
+
+    def test_oversize_frames_rejected(self, env):
+        pm, pic, _ = env
+        nic = NetDevice(pm, pic.line(2))
+        with pytest.raises(DeviceError):
+            nic.inject_rx(b"x" * 10000)
+        with pytest.raises(DeviceError):
+            nic.port_write(NET_TX_LEN, 10000)

@@ -1,0 +1,28 @@
+"""Cost model."""
+
+import pytest
+
+from repro.mem.costs import CostModel
+from repro.util.errors import ConfigError
+
+
+def test_defaults_validate():
+    CostModel().validate()
+
+
+def test_with_overrides_selected_fields():
+    base = CostModel()
+    tweaked = base.with_(vmexit_cycles=9999)
+    assert tweaked.vmexit_cycles == 9999
+    assert tweaked.mem_ref_cycles == base.mem_ref_cycles
+    assert base.vmexit_cycles != 9999  # original untouched (frozen)
+
+
+def test_negative_cost_rejected():
+    with pytest.raises(ConfigError):
+        CostModel().with_(trap_cycles=-1).validate()
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        CostModel().vmexit_cycles = 5

@@ -1,0 +1,212 @@
+"""Page-table entries, the walker, and AddressSpace."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mem.paging import (
+    AccessType,
+    AddressSpace,
+    PTE_ACCESSED,
+    PTE_DIRTY,
+    PTE_NOEXEC,
+    PTE_PRESENT,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageFault,
+    PageTableWalker,
+    make_pte,
+    pte_frame,
+    split_vaddr,
+)
+from repro.mem.physmem import FrameAllocator, PhysicalMemory
+from repro.util.errors import MemoryError_
+from repro.util.units import MIB, PAGE_SIZE
+
+
+@pytest.fixture
+def env():
+    pm = PhysicalMemory(1 * MIB)
+    alloc = FrameAllocator(pm, reserved_frames=1)
+    return pm, alloc
+
+
+class TestEntryFormat:
+    def test_make_and_extract(self):
+        pte = make_pte(0x123, PTE_PRESENT | PTE_WRITABLE)
+        assert pte_frame(pte) == 0x123
+        assert pte & PTE_PRESENT and pte & PTE_WRITABLE
+
+    def test_flag_overlap_rejected(self):
+        with pytest.raises(MemoryError_):
+            make_pte(1, 0x1000)
+
+    def test_pfn_range_checked(self):
+        with pytest.raises(MemoryError_):
+            make_pte(1 << 20, 0)
+
+    @given(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    def test_split_vaddr_reassembles(self, va):
+        d, t, o = split_vaddr(va)
+        assert 0 <= d < 1024 and 0 <= t < 1024 and 0 <= o < 4096
+        assert (d << 22) | (t << 12) | o == va & 0xFFFFFFFF
+
+
+class TestAddressSpace:
+    def test_map_and_lookup(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        frame = alloc.alloc()
+        space.map(0x400000, frame * PAGE_SIZE, PTE_WRITABLE)
+        pte = space.lookup(0x400000)
+        assert pte is not None
+        assert pte_frame(pte) == frame
+        assert space.lookup(0x401000) is None
+        assert space.mapped_pages == 1
+
+    def test_unaligned_rejected(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        with pytest.raises(MemoryError_):
+            space.map(0x100, 0, PTE_WRITABLE)
+        with pytest.raises(MemoryError_):
+            space.map(0, 0x100, PTE_WRITABLE)
+
+    def test_unmap(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        space.map(0x1000, 0x2000, 0)
+        space.unmap(0x1000)
+        assert space.lookup(0x1000) is None
+        assert space.mapped_pages == 0
+        space.unmap(0x999000)  # unmapping nothing is fine
+
+    def test_remap_does_not_double_count(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        space.map(0x1000, 0x2000, 0)
+        space.map(0x1000, 0x3000, 0)
+        assert space.mapped_pages == 1
+        assert pte_frame(space.lookup(0x1000)) == 3
+
+    def test_protect_changes_flags(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        space.map(0x1000, 0x2000, PTE_WRITABLE | PTE_USER)
+        space.protect(0x1000, PTE_USER)
+        pte = space.lookup(0x1000)
+        assert not pte & PTE_WRITABLE and pte & PTE_USER
+        with pytest.raises(MemoryError_):
+            space.protect(0x5000, 0)
+
+    def test_mappings_iterates_all(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        vas = [0x1000, 0x400000, 0x7FC00000]
+        for i, va in enumerate(vas):
+            space.map(va, (i + 1) * PAGE_SIZE, PTE_USER)
+        found = dict(space.mappings())
+        assert sorted(found) == sorted(vas)
+
+    def test_clear_pde_drops_subtree_and_frees_table(self, env):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        space.map(0x400000, 0x1000, 0)
+        space.map(0x400000 + PAGE_SIZE, 0x2000, 0)
+        before = alloc.allocated_frames
+        space.clear_pde(1)  # 0x400000 >> 22 == 1
+        assert space.lookup(0x400000) is None
+        assert space.mapped_pages == 0
+        assert alloc.allocated_frames == before - 1  # PT page returned
+
+    def test_destroy_frees_table_frames(self, env):
+        pm, alloc = env
+        before = alloc.allocated_frames
+        space = AddressSpace(pm, alloc)
+        space.map(0x1000, 0x2000, 0)
+        space.map(0x40000000, 0x3000, 0)
+        space.destroy()
+        assert alloc.allocated_frames == before
+
+
+class TestWalker:
+    def _space(self, env, va=0x1000, flags=PTE_WRITABLE | PTE_USER):
+        pm, alloc = env
+        space = AddressSpace(pm, alloc)
+        frame = alloc.alloc()
+        pm.write_u32(frame * PAGE_SIZE, 0xCAFEBABE)
+        space.map(va, frame * PAGE_SIZE, flags)
+        return pm, space, frame
+
+    def test_successful_walk(self, env):
+        pm, space, frame = self._space(env)
+        walker = PageTableWalker(pm)
+        result = walker.walk(space.root_pa, 0x1004, AccessType.READ, user=True)
+        assert result.paddr == frame * PAGE_SIZE + 4
+        assert result.mem_refs == 2
+        assert walker.walks == 1 and walker.faults == 0
+
+    def test_not_present_faults(self, env):
+        pm, space, _ = self._space(env)
+        walker = PageTableWalker(pm)
+        with pytest.raises(PageFault) as info:
+            walker.walk(space.root_pa, 0x2000, AccessType.READ, user=False)
+        assert not info.value.present
+        assert walker.faults == 1
+
+    def test_user_cannot_touch_kernel_page(self, env):
+        pm, space, _ = self._space(env, flags=PTE_WRITABLE)  # no USER bit
+        walker = PageTableWalker(pm)
+        with pytest.raises(PageFault) as info:
+            walker.walk(space.root_pa, 0x1000, AccessType.READ, user=True)
+        assert info.value.present  # protection, not absence
+        # kernel access is fine
+        walker.walk(space.root_pa, 0x1000, AccessType.READ, user=False)
+
+    def test_write_to_readonly_faults(self, env):
+        pm, space, _ = self._space(env, flags=PTE_USER)  # read-only
+        walker = PageTableWalker(pm)
+        with pytest.raises(PageFault):
+            walker.walk(space.root_pa, 0x1000, AccessType.WRITE, user=True)
+
+    def test_noexec_blocks_fetch(self, env):
+        pm, space, _ = self._space(env, flags=PTE_USER | PTE_NOEXEC)
+        walker = PageTableWalker(pm)
+        with pytest.raises(PageFault):
+            walker.walk(space.root_pa, 0x1000, AccessType.EXEC, user=True)
+        walker.walk(space.root_pa, 0x1000, AccessType.READ, user=True)
+
+    def test_accessed_and_dirty_bits_set(self, env):
+        pm, space, _ = self._space(env)
+        walker = PageTableWalker(pm)
+        walker.walk(space.root_pa, 0x1000, AccessType.READ, user=False)
+        pte = space.lookup(0x1000)
+        assert pte & PTE_ACCESSED and not pte & PTE_DIRTY
+        walker.walk(space.root_pa, 0x1000, AccessType.WRITE, user=False)
+        pte = space.lookup(0x1000)
+        assert pte & PTE_DIRTY
+
+    def test_no_side_effects_when_set_ad_false(self, env):
+        pm, space, _ = self._space(env)
+        walker = PageTableWalker(pm)
+        walker.walk(space.root_pa, 0x1000, AccessType.WRITE, user=False,
+                    set_ad=False)
+        pte = space.lookup(0x1000)
+        assert not pte & PTE_ACCESSED and not pte & PTE_DIRTY
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 20) - 1),
+                    min_size=1, max_size=24, unique=True))
+    def test_walk_agrees_with_lookup(self, vpns):
+        pm = PhysicalMemory(2 * MIB)
+        alloc = FrameAllocator(pm, reserved_frames=1)
+        space = AddressSpace(pm, alloc)
+        mapping = {}
+        for i, vpn in enumerate(vpns):
+            # map each vpn to a distinct (fake) frame number
+            space.map(vpn * PAGE_SIZE, (i + 100) * PAGE_SIZE,
+                      PTE_WRITABLE | PTE_USER)
+            mapping[vpn] = i + 100
+        walker = PageTableWalker(pm)
+        for vpn, frame in mapping.items():
+            result = walker.walk(space.root_pa, vpn * PAGE_SIZE,
+                                 AccessType.READ, user=True)
+            assert result.paddr == frame * PAGE_SIZE

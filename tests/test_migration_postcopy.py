@@ -1,0 +1,104 @@
+"""Functional post-copy migration."""
+
+import pytest
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import RunOutcome
+from repro.guest import KernelOptions, build_kernel, read_diag, workloads
+from repro.guest.workloads import expected_memtouch
+from repro.migration import LiveMigrator, PostCopyMigrator
+from repro.util.errors import MigrationError
+from repro.util.units import MIB
+
+GUEST_MEM = 16 * MIB
+PAGES, PASSES = 28, 2500
+
+
+def start_guest(mmu_mode=MMUVirtMode.NESTED):
+    src = Hypervisor(memory_bytes=64 * MIB)
+    dst = Hypervisor(memory_bytes=64 * MIB)
+    vm = src.create_vm(GuestConfig(name="pc", memory_bytes=GUEST_MEM,
+                                   virt_mode=VirtMode.HW_ASSIST,
+                                   mmu_mode=mmu_mode))
+    kernel = build_kernel(KernelOptions(memory_bytes=GUEST_MEM))
+    src.load_program(vm, kernel)
+    src.load_program(vm, workloads.memtouch(PAGES, PASSES))
+    src.reset_vcpu(vm, kernel.entry)
+    src.run(vm, max_guest_instructions=100_000)
+    return src, dst, vm
+
+
+def test_guest_resumes_remotely_and_finishes_correctly():
+    src, dst, vm = start_guest()
+    migrator = PostCopyMigrator(src, dst, bytes_per_cycle=4.0)
+    result = migrator.migrate_and_run(vm)
+    diag = read_diag(result.dest_vm.guest_mem)
+    assert result.outcome is RunOutcome.SHUTDOWN
+    assert diag.user_result == expected_memtouch(PAGES, PASSES)
+    assert diag.fault_cause == 0
+
+
+def test_every_page_arrives_exactly_once():
+    src, dst, vm = start_guest()
+    migrator = PostCopyMigrator(src, dst, bytes_per_cycle=4.0)
+    result = migrator.migrate_and_run(vm)
+    assert result.remote_faults + result.pushed_pages == result.total_pages
+    assert result.dest_vm.guest_mem.map.keys() == vm.guest_mem.map.keys()
+
+
+def test_downtime_is_tiny_compared_to_precopy():
+    src, dst, vm = start_guest()
+    post = PostCopyMigrator(src, dst, bytes_per_cycle=4.0).migrate_and_run(vm)
+
+    src2, dst2, vm2 = start_guest()
+    pre = LiveMigrator(src2, dst2, bytes_per_cycle=4.0).migrate(
+        vm2, quantum_instructions=30_000
+    )
+    # Post-copy downtime is CPU-state only; pre-copy ships the residual
+    # working set while paused.
+    assert post.downtime_cycles < pre.downtime_cycles / 10
+
+
+def test_demand_faults_hit_the_working_set_first():
+    src, dst, vm = start_guest()
+    migrator = PostCopyMigrator(src, dst, bytes_per_cycle=4.0,
+                                push_batch_pages=16)
+    result = migrator.migrate_and_run(vm)
+    # Only the touched working set (plus kernel pages) demand-faults;
+    # the bulk arrives via background push.
+    assert 0 < result.remote_faults < 150
+    assert result.pushed_pages > result.remote_faults
+    assert result.fetch_fraction < 0.05
+
+
+def test_memory_identity_after_migration():
+    src, dst, vm = start_guest()
+    marker_gpa = 0x9000 + 64
+    vm.guest_mem.write_u32(marker_gpa, 0x5117_BEEF & 0xFFFFFFFF)
+    migrator = PostCopyMigrator(src, dst, bytes_per_cycle=4.0)
+    result = migrator.migrate_and_run(vm, max_guest_instructions=1)
+    # Even pages the guest never touched must be identical once the
+    # background push completes.
+    for gfn in vm.guest_mem.map:
+        assert (result.dest_vm.guest_mem.read_gfn(gfn)
+                == vm.guest_mem.read_gfn(gfn)), gfn
+
+
+def test_requires_hw_assist():
+    src = Hypervisor(memory_bytes=64 * MIB)
+    dst = Hypervisor(memory_bytes=64 * MIB)
+    vm = src.create_vm(GuestConfig(name="te", memory_bytes=GUEST_MEM,
+                                   virt_mode=VirtMode.TRAP_EMULATE,
+                                   mmu_mode=MMUVirtMode.SHADOW))
+    migrator = PostCopyMigrator(src, dst)
+    with pytest.raises(MigrationError):
+        migrator.migrate_and_run(vm)
+
+
+def test_parameter_validation():
+    src = Hypervisor(memory_bytes=64 * MIB)
+    dst = Hypervisor(memory_bytes=64 * MIB)
+    with pytest.raises(MigrationError):
+        PostCopyMigrator(src, dst, bytes_per_cycle=0)
+    with pytest.raises(MigrationError):
+        PostCopyMigrator(src, dst, push_batch_pages=0)

@@ -1,0 +1,233 @@
+"""Overcommit: sharing, swap, WSS estimation, balloon policy, model."""
+
+import pytest
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import RunOutcome
+from repro.guest import KernelOptions, build_kernel, read_diag, workloads
+from repro.guest.workloads import expected_memtouch
+from repro.overcommit import (
+    BalloonPolicy,
+    HostSwap,
+    PageSharer,
+    PolicyKind,
+    VMDemand,
+    clear_access_bits,
+    count_accessed,
+    estimate_wss,
+    evaluate_policy,
+)
+from repro.util.errors import ConfigError, MemoryError_
+from repro.util.units import MIB
+
+GUEST_MEM = 16 * MIB
+
+
+def start_vm(hv, name, mmu_mode=MMUVirtMode.NESTED, pages=16, passes=2000,
+             warmup=100_000):
+    vm = hv.create_vm(GuestConfig(name=name, memory_bytes=GUEST_MEM,
+                                  virt_mode=VirtMode.HW_ASSIST,
+                                  mmu_mode=mmu_mode))
+    kernel = build_kernel(KernelOptions(memory_bytes=GUEST_MEM))
+    hv.load_program(vm, kernel)
+    hv.load_program(vm, workloads.memtouch(pages, passes))
+    hv.reset_vcpu(vm, kernel.entry)
+    hv.run(vm, max_guest_instructions=warmup)
+    return vm
+
+
+class TestPageSharer:
+    def test_scan_merges_identical_frames(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vms = [start_vm(hv, f"v{i}") for i in range(2)]
+        free_before = hv.allocator.free_frames
+        sharer = PageSharer(hv)
+        result = sharer.scan()
+        assert result.pages_merged > 1000  # two near-identical guests
+        assert hv.allocator.free_frames == free_before + result.frames_freed
+        assert sharer.shared_mappings > 0
+
+    def test_guests_stay_correct_through_cow(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vms = [start_vm(hv, f"v{i}", passes=1200) for i in range(2)]
+        sharer = PageSharer(hv)
+        sharer.scan()
+        for vm in vms:
+            outcome = hv.run(vm, max_guest_instructions=60_000_000)
+            diag = read_diag(vm.guest_mem)
+            assert outcome is RunOutcome.SHUTDOWN
+            assert diag.user_result == expected_memtouch(16, 1200)
+        assert sharer.cow_breaks > 0
+
+    def test_cow_write_isolates_content(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        a = start_vm(hv, "a")
+        b = start_vm(hv, "b")
+        sharer = PageSharer(hv)
+        sharer.scan()
+        # Find a gfn shared between the two VMs.
+        shared_gfn = next(
+            gfn for gfn in range(a.num_pages)
+            if sharer.handles(a, gfn) and sharer.handles(b, gfn)
+            and a.guest_mem.map.get(gfn) == b.guest_mem.map.get(gfn)
+        )
+        sharer.on_write_fault(a, shared_gfn)
+        a.guest_mem.write_u32(shared_gfn * 4096, 0xAAAA5555)
+        assert b.guest_mem.read_u32(shared_gfn * 4096) != 0xAAAA5555
+        assert a.guest_mem.map[shared_gfn] != b.guest_mem.map[shared_gfn]
+
+    def test_destroy_with_shared_frames_no_double_free(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vms = [start_vm(hv, f"v{i}") for i in range(2)]
+        sharer = PageSharer(hv)
+        sharer.scan()
+        for vm in vms:
+            hv.destroy_vm(vm)
+        assert hv.allocator.allocated_frames == 0
+
+    def test_cow_on_unshared_page_rejected(self):
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = start_vm(hv, "v")
+        sharer = PageSharer(hv)
+        with pytest.raises(MemoryError_):
+            sharer.on_write_fault(vm, 0)
+
+
+class TestHostSwap:
+    @pytest.mark.parametrize("mmu_mode", [MMUVirtMode.NESTED,
+                                          MMUVirtMode.SHADOW])
+    def test_evict_and_transparent_pagein(self, mmu_mode):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "s", mmu_mode=mmu_mode, pages=20, passes=8000)
+        swap = HostSwap(hv)
+        swap.install(vm)
+        evicted = swap.evict_some(200)
+        assert evicted == 200
+        outcome = hv.run(vm, max_guest_instructions=60_000_000)
+        diag = read_diag(vm.guest_mem)
+        assert outcome is RunOutcome.SHUTDOWN
+        assert diag.user_result == expected_memtouch(20, 8000)
+        assert swap.swap_ins > 0
+
+    def test_swap_out_frees_host_frame(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "s")
+        swap = HostSwap(hv)
+        swap.install(vm)
+        free_before = hv.allocator.free_frames
+        swap.swap_out(vm, 2000)  # cold high page
+        assert hv.allocator.free_frames == free_before + 1
+        assert swap.is_swapped(vm, 2000)
+        assert not vm.guest_mem.is_mapped(2000)
+
+    def test_swap_in_restores_content(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "s")
+        vm.guest_mem.write_u32(2000 * 4096, 0xFEEDFACE)
+        swap = HostSwap(hv)
+        swap.install(vm)
+        swap.swap_out(vm, 2000)
+        swap.swap_in(vm, 2000)
+        assert vm.guest_mem.read_u32(2000 * 4096) == 0xFEEDFACE
+
+    def test_double_swap_out_rejected(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "s")
+        swap = HostSwap(hv)
+        swap.install(vm)
+        swap.swap_out(vm, 2000)
+        with pytest.raises(MemoryError_):
+            swap.swap_out(vm, 2000)
+        with pytest.raises(MemoryError_):
+            swap.swap_in(vm, 1999)
+
+
+class TestWSS:
+    def test_estimate_tracks_working_set(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "w", pages=30, passes=100_000)
+        samples = estimate_wss(hv, vm, sample_instructions=15_000, samples=2)
+        # ~30 heap pages plus a handful of kernel pages per interval.
+        for touched in samples:
+            assert 25 <= touched <= 60
+
+    def test_clear_and_count_roundtrip(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "w", pages=10, passes=100_000)
+        assert count_accessed(vm) > 0
+        cleared = clear_access_bits(vm)
+        assert cleared > 0
+        assert count_accessed(vm) == 0
+
+
+class TestBalloonPolicy:
+    def test_no_pressure_keeps_allocations(self):
+        policy = BalloonPolicy(host_pages=10_000)
+        policy.add_vm("a", current_pages=3000, wss_pages=1000)
+        policy.add_vm("b", current_pages=3000, wss_pages=1000)
+        targets = {t.name: t for t in policy.compute_targets()}
+        assert targets["a"].target_pages == 3000
+        assert targets["a"].inflate_pages == 0
+
+    def test_pressure_taxes_idle_memory(self):
+        policy = BalloonPolicy(host_pages=10_000)
+        policy.add_vm("idle", current_pages=6000, wss_pages=1000)
+        policy.add_vm("busy", current_pages=6000, wss_pages=5000)
+        targets = {t.name: t for t in policy.compute_targets()}
+        assert targets["idle"].inflate_pages > targets["busy"].inflate_pages
+        total = sum(t.target_pages for t in targets.values())
+        assert total <= 10_000
+        # Working sets always survive.
+        assert targets["idle"].target_pages >= 1000
+        assert targets["busy"].target_pages >= 5000
+
+    def test_overload_scales_wss_proportionally(self):
+        policy = BalloonPolicy(host_pages=6000)
+        policy.add_vm("a", current_pages=8000, wss_pages=4000)
+        policy.add_vm("b", current_pages=8000, wss_pages=8000)
+        targets = {t.name: t for t in policy.compute_targets()}
+        assert targets["b"].target_pages == pytest.approx(
+            2 * targets["a"].target_pages, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BalloonPolicy(host_pages=0)
+        policy = BalloonPolicy(host_pages=100)
+        with pytest.raises(ConfigError):
+            policy.add_vm("x", 10, 5, shares=0)
+
+
+class TestModel:
+    def _vms(self, n):
+        return [VMDemand(f"vm{i}", configured_pages=1000, wss_pages=400,
+                         shareable_fraction=0.5) for i in range(n)]
+
+    def test_undercommitted_all_full_speed(self):
+        for kind in PolicyKind:
+            outcome = evaluate_policy(10_000, self._vms(4), kind)
+            assert outcome.min_throughput == pytest.approx(1.0)
+
+    def test_swap_only_collapses_first(self):
+        vms = self._vms(6)  # 6000 configured on 4000: 1.5x overcommit
+        swap = evaluate_policy(4000, vms, PolicyKind.SWAP_ONLY)
+        balloon = evaluate_policy(4000, vms, PolicyKind.BALLOON)
+        assert swap.min_throughput < 0.1
+        assert balloon.min_throughput == pytest.approx(1.0)
+
+    def test_sharing_extends_past_balloon(self):
+        vms = self._vms(12)  # WSS sum = 4800 > 4000
+        balloon = evaluate_policy(4000, vms, PolicyKind.BALLOON)
+        share = evaluate_policy(4000, vms, PolicyKind.BALLOON_SHARE)
+        assert balloon.min_throughput < 0.1
+        assert share.min_throughput == pytest.approx(1.0)
+        assert share.shared_saved_pages > 0
+
+    def test_overcommit_ratio_reported(self):
+        outcome = evaluate_policy(4000, self._vms(8), PolicyKind.BALLOON)
+        assert outcome.overcommit_ratio == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            evaluate_policy(0, self._vms(1), PolicyKind.BALLOON)
+        with pytest.raises(ConfigError):
+            VMDemand("x", configured_pages=10, wss_pages=20).validate()

@@ -1,0 +1,154 @@
+"""vCPU schedulers: proportional share, boost, caps, preemption."""
+
+import pytest
+
+from repro.sched import (
+    CpuBoundWork,
+    CreditScheduler,
+    InteractiveWork,
+    RoundRobinScheduler,
+    StrideScheduler,
+    VCpuTask,
+    run_schedule,
+)
+from repro.sched.entities import TaskState
+from repro.sim.kernel import MSEC, SEC
+from repro.util.errors import SchedulerError
+
+
+def hogs(weights, prefix="vm"):
+    return [VCpuTask(f"{prefix}{i}", weight=w, workload=CpuBoundWork())
+            for i, w in enumerate(weights)]
+
+
+class TestEntities:
+    def test_weight_validation(self):
+        with pytest.raises(SchedulerError):
+            VCpuTask("x", weight=0)
+        with pytest.raises(SchedulerError):
+            VCpuTask("x", cap_percent=0)
+        with pytest.raises(SchedulerError):
+            VCpuTask("x", cap_percent=101)
+
+    def test_interactive_workload_alternates(self):
+        work = InteractiveWork(burst_us=10, block_us=20, repeats=2)
+        phases = list(work.phases())
+        assert phases == [("run", 10), ("block", 20)] * 2
+
+    def test_cpu_bound_finite(self):
+        task = VCpuTask("x", workload=CpuBoundWork(total_us=100))
+        assert task.remaining_in_phase == 100
+
+    def test_invalid_interactive(self):
+        with pytest.raises(SchedulerError):
+            InteractiveWork(burst_us=0)
+
+
+class TestProportionalShare:
+    @pytest.mark.parametrize("factory", [CreditScheduler, StrideScheduler])
+    def test_weighted_shares(self, factory):
+        stats = run_schedule(factory(), hogs([1, 2, 4]), 10 * SEC)
+        assert stats.share_error < 0.01
+        assert stats.fairness > 0.99
+        assert stats.achieved_share["vm2"] == pytest.approx(4 / 7, abs=0.02)
+
+    def test_round_robin_ignores_weights(self):
+        stats = run_schedule(RoundRobinScheduler(), hogs([1, 2, 4]), 10 * SEC)
+        assert stats.share_error > 0.1
+        assert stats.achieved_share["vm0"] == pytest.approx(1 / 3, abs=0.02)
+
+    def test_equal_weights_equal_shares(self):
+        stats = run_schedule(CreditScheduler(), hogs([256] * 4), 5 * SEC)
+        for share in stats.achieved_share.values():
+            assert share == pytest.approx(0.25, abs=0.02)
+
+    def test_single_task_gets_everything(self):
+        stats = run_schedule(CreditScheduler(), hogs([256]), 1 * SEC)
+        assert stats.achieved_share["vm0"] == pytest.approx(1.0, abs=0.01)
+
+
+class TestCreditFeatures:
+    def _io_mix(self):
+        return hogs([256, 256, 256]) + [
+            VCpuTask("io", weight=256,
+                     workload=InteractiveWork(burst_us=500, block_us=5 * MSEC))
+        ]
+
+    def test_boost_collapses_wake_latency(self):
+        boosted = run_schedule(CreditScheduler(boost=True), self._io_mix(),
+                               3 * SEC)
+        plain = run_schedule(CreditScheduler(boost=False), self._io_mix(),
+                             3 * SEC)
+        assert boosted.wake_latency["io"].p50 < 200
+        assert plain.wake_latency["io"].p50 > 1000
+        assert (boosted.wake_latency["io"].mean
+                < plain.wake_latency["io"].mean / 10)
+
+    def test_cap_limits_share(self):
+        tasks = hogs([256]) + [
+            VCpuTask("capped", weight=256, cap_percent=20,
+                     workload=CpuBoundWork())
+        ]
+        stats = run_schedule(CreditScheduler(), tasks, 10 * SEC)
+        assert stats.achieved_share["capped"] <= 0.22
+        assert stats.achieved_share["vm0"] >= 0.75
+
+    def test_cap_does_not_apply_without_contention(self):
+        tasks = [VCpuTask("solo", weight=256, cap_percent=50,
+                          workload=CpuBoundWork())]
+        stats = run_schedule(CreditScheduler(), tasks, 2 * SEC)
+        # The cap still binds even alone: it is a hard ceiling.
+        assert stats.achieved_share["solo"] <= 0.55
+
+    def test_duplicate_task_rejected(self):
+        sched = CreditScheduler()
+        task = VCpuTask("x", workload=CpuBoundWork())
+        sched.add_task(task, 0)
+        with pytest.raises(SchedulerError):
+            sched.add_task(task, 0)
+
+
+class TestStride:
+    def test_deterministic_sequence(self):
+        s1 = run_schedule(StrideScheduler(), hogs([1, 3]), 2 * SEC)
+        s2 = run_schedule(StrideScheduler(), hogs([1, 3]), 2 * SEC)
+        assert s1.cpu_time == s2.cpu_time
+
+    def test_duplicate_rejected(self):
+        sched = StrideScheduler()
+        task = VCpuTask("x", workload=CpuBoundWork())
+        sched.add_task(task, 0)
+        with pytest.raises(SchedulerError):
+            sched.add_task(task, 0)
+
+
+class TestMultiCore:
+    def test_two_cores_double_capacity(self):
+        stats = run_schedule(CreditScheduler(num_cores=2), hogs([256] * 4),
+                             5 * SEC, num_cores=2)
+        total = sum(stats.achieved_share.values())
+        assert total == pytest.approx(1.0, abs=0.02)  # of 2-core capacity
+        for share in stats.achieved_share.values():
+            assert share == pytest.approx(0.25, abs=0.02)
+
+    def test_fewer_tasks_than_cores(self):
+        stats = run_schedule(CreditScheduler(num_cores=4), hogs([256]),
+                             1 * SEC, num_cores=4)
+        # One hog can use at most one core = 25% of capacity.
+        assert stats.achieved_share["vm0"] == pytest.approx(0.25, abs=0.02)
+
+
+class TestCompletion:
+    def test_finite_tasks_complete(self):
+        tasks = [VCpuTask("f", workload=CpuBoundWork(total_us=50 * MSEC))]
+        stats = run_schedule(CreditScheduler(), tasks, 1 * SEC)
+        assert tasks[0].state is TaskState.DONE
+        assert stats.cpu_time["f"] == 50 * MSEC
+
+    def test_interactive_repeats_then_done(self):
+        tasks = [VCpuTask("i", workload=InteractiveWork(
+            burst_us=1 * MSEC, block_us=1 * MSEC, repeats=5))]
+        run_schedule(CreditScheduler(), tasks, 1 * SEC)
+        assert tasks[0].state is TaskState.DONE
+        assert tasks[0].cpu_time == 5 * MSEC
+        assert tasks[0].blocks == 5

@@ -1,0 +1,218 @@
+"""Discrete-event simulator kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    Interrupted,
+    SEC,
+    Simulator,
+    Timeout,
+    WaitEvent,
+    WaitProcess,
+)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(sim.now)
+        yield Timeout(10)
+        trace.append(sim.now)
+        yield Timeout(5)
+        trace.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [0, 10, 15]
+
+
+def test_events_wake_waiters_with_value():
+    sim = Simulator()
+    ev = sim.event()
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append((sim.now, value))
+
+    def firer():
+        yield Timeout(7)
+        ev.succeed("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == [(7, "payload")]
+
+
+def test_wait_on_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(123)
+    got = []
+
+    def waiter():
+        value = yield WaitEvent(ev)
+        got.append(value)
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [123]
+
+
+def test_event_double_fire_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed()
+    with pytest.raises(RuntimeError):
+        ev.succeed()
+
+
+def test_wait_process_returns_result():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(3)
+        return 42
+
+    results = []
+
+    def parent():
+        proc = sim.spawn(child(), name="child")
+        value = yield WaitProcess(proc)
+        results.append((sim.now, value))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [(3, 42)]
+
+
+def test_wait_on_finished_process():
+    sim = Simulator()
+
+    def child():
+        return 9
+        yield  # pragma: no cover
+
+    def parent():
+        proc = sim.spawn(child())
+        yield Timeout(5)
+        value = yield WaitProcess(proc)
+        return value
+
+    p = sim.spawn(parent())
+    assert sim.run_until_process(p) == 9
+
+
+def test_interrupt_cancels_timeout():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield Timeout(1000)
+            log.append("slept")
+        except Interrupted as exc:
+            log.append(("interrupted", sim.now, exc.reason))
+            yield Timeout(1)
+            log.append("resumed")
+
+    proc = sim.spawn(sleeper())
+    sim.call_at(10, lambda: proc.interrupt("wakeup"))
+    sim.run()
+    assert log == [("interrupted", 10, "wakeup"), "resumed"]
+    assert sim.now == 11  # the stale 1000-tick timer must not fire late
+
+
+def test_interrupt_dead_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(1)
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt()  # must not raise
+
+
+def test_unhandled_interrupt_kills_process():
+    sim = Simulator()
+
+    def stubborn():
+        yield Timeout(100)
+
+    proc = sim.spawn(stubborn())
+    sim.call_at(5, lambda: proc.interrupt())
+    sim.run()
+    assert not proc.alive
+
+
+def test_run_until_limit_stops_clock():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield Timeout(10)
+
+    sim.spawn(ticker())
+    assert sim.run(until=35) == 35
+    assert sim.now == 35
+
+
+def test_deterministic_tie_breaking():
+    sim = Simulator()
+    order = []
+
+    def mk(name):
+        def proc():
+            yield Timeout(5)
+            order.append(name)
+        return proc()
+
+    for name in ("a", "b", "c"):
+        sim.spawn(mk(name), name=name)
+    sim.run()
+    assert order == ["a", "b", "c"]  # spawn order preserved at equal time
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+    sim.call_at(5, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.call_at(1, lambda: None)
+
+
+def test_run_until_process_deadlock_detected():
+    sim = Simulator()
+
+    def waiter():
+        yield WaitEvent(sim.event())  # nobody will fire it
+
+    proc = sim.spawn(waiter())
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run_until_process(proc)
+
+
+def test_run_until_process_time_limit():
+    sim = Simulator()
+
+    def slow():
+        yield Timeout(10 * SEC)
+
+    proc = sim.spawn(slow())
+    with pytest.raises(RuntimeError, match="time limit"):
+        sim.run_until_process(proc, limit=SEC)
+
+
+def test_bad_yield_type_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(TypeError):
+        sim.run()

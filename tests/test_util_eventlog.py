@@ -1,0 +1,61 @@
+"""Bounded event log."""
+
+import pytest
+
+from repro.util.eventlog import Event, EventLog
+
+
+def test_emit_and_iterate():
+    log = EventLog(capacity=10)
+    log.emit(1, "sched", "dispatch", task="vm0")
+    log.emit(2, "mmu", "fill")
+    events = list(log)
+    assert len(events) == 2
+    assert events[0].category == "sched"
+    assert events[0].payload == {"task": "vm0"}
+    assert events[1].time == 2
+
+
+def test_capacity_bound_drops_oldest():
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.emit(i, "c", f"m{i}")
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert log.total == 5
+    assert [e.message for e in log] == ["m2", "m3", "m4"]
+
+
+def test_disabled_log_records_nothing():
+    log = EventLog(enabled=False)
+    log.emit(1, "c", "m")
+    assert len(log) == 0
+    assert log.total == 0
+
+
+def test_filter_by_category_and_time():
+    log = EventLog()
+    log.emit(1, "a", "x")
+    log.emit(2, "b", "y")
+    log.emit(3, "a", "z")
+    assert [e.message for e in log.filter(category="a")] == ["x", "z"]
+    assert [e.message for e in log.filter(since=2)] == ["y", "z"]
+    assert [e.message for e in log.filter(category="a", since=2)] == ["z"]
+
+
+def test_clear_resets_counters():
+    log = EventLog(capacity=2)
+    for i in range(4):
+        log.emit(i, "c", "m")
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0 and log.total == 0
+
+
+def test_event_str_contains_fields():
+    text = str(Event(7, "io", "kick", {"port": 4}))
+    assert "7" in text and "io" in text and "kick" in text and "port" in text
+
+
+def test_invalid_capacity_rejected():
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
