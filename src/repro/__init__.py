@@ -15,10 +15,78 @@ Subpackages (see README.md for the architecture overview):
 * :mod:`repro.migration` -- live migration: models, functional pre-copy
   and post-copy.
 * :mod:`repro.overcommit` -- ballooning, page sharing, host swap, WSS.
-* :mod:`repro.cluster` -- placement, consolidation, power, balancing.
-* :mod:`repro.bench` -- experiment runners (E1-E9).
+* :mod:`repro.cluster` -- placement, consolidation, power, balancing,
+  host failover.
+* :mod:`repro.faults` -- deterministic fault injection, watchdogs, and
+  recovery (micro-reboot, retry/backoff).
+* :mod:`repro.bench` -- experiment runners (E1-E10).
 
 Command line: ``python -m repro list | run <exp> | boot``.
+
+The exception hierarchy and the most commonly used entry points are
+re-exported here, so ``import repro`` suffices for embedding:
+``repro.Hypervisor``, ``repro.GuestConfig``, ``repro.FaultInjector``,
+and every ``repro.*Error`` class (all deriving from
+:class:`repro.ReproError`).
 """
 
-__version__ = "1.0.0"
+from repro.util.errors import (
+    ConfigError,
+    DeviceError,
+    FaultError,
+    GuestError,
+    LinkError,
+    MemoryError_,
+    MigrationError,
+    ReproError,
+    SchedulerError,
+)
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import RunOutcome
+from repro.core.snapshot import VMSnapshot, restore_vm, snapshot_vm
+from repro.faults import (
+    DeviceTimeoutMonitor,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    GuestProgressWatchdog,
+    MicroRebooter,
+    RetryPolicy,
+)
+from repro.migration import LiveMigrator, LiveMigrationResult
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "__version__",
+    # exception hierarchy
+    "ReproError",
+    "ConfigError",
+    "GuestError",
+    "MemoryError_",
+    "DeviceError",
+    "MigrationError",
+    "SchedulerError",
+    "LinkError",
+    "FaultError",
+    # core entry points
+    "Hypervisor",
+    "GuestConfig",
+    "VirtMode",
+    "MMUVirtMode",
+    "RunOutcome",
+    "VMSnapshot",
+    "snapshot_vm",
+    "restore_vm",
+    # migration
+    "LiveMigrator",
+    "LiveMigrationResult",
+    # faults / detection / recovery
+    "FaultSpec",
+    "FaultPlan",
+    "FaultInjector",
+    "GuestProgressWatchdog",
+    "DeviceTimeoutMonitor",
+    "MicroRebooter",
+    "RetryPolicy",
+]

@@ -16,6 +16,7 @@ from repro.bench.e6_migration import run_e6, run_e6_functional
 from repro.bench.e7_overcommit import run_e7, run_e7_functional
 from repro.bench.e8_consolidation import run_e8
 from repro.bench.e9_ablation import run_e9_exit_cost, run_e9_bt
+from repro.bench.e10_resilience import run_e10
 
 __all__ = [
     "ExperimentResult",
@@ -34,4 +35,5 @@ __all__ = [
     "run_e8",
     "run_e9_exit_cost",
     "run_e9_bt",
+    "run_e10",
 ]

@@ -1,0 +1,225 @@
+"""E10: fault injection, detection, and recovery.
+
+Three scenarios, each driven by a seeded, deterministic
+:class:`~repro.faults.injector.FaultPlan`:
+
+A. **Migration under link faults.** A real pre-copy migration takes an
+   injected stream drop plus two in-flight page corruptions. The
+   migrator backs off and resumes from the pending suffix + dirty
+   bitmap, so the pages re-sent (corrupt resends only) stay far below
+   what a from-scratch restart would re-send; the migrated guest still
+   computes the correct result. The same seeded plan replayed twice
+   yields a byte-identical injection trace.
+B. **Hung-VM detection and micro-reboot.** A ``vcpu.stall`` fault wedges
+   the guest (cycles burn, nothing retires); the progress watchdog
+   flags the flat-lined instruction counter and the VM is ReHype-style
+   micro-rebooted -- hypervisor-private state rebuilt, guest memory and
+   registers preserved -- after which the workload runs to the correct
+   completion.
+C. **Host crash and failover.** One host of a packed fleet dies; every
+   stranded VM is re-placed onto the survivors.
+"""
+
+from typing import Dict
+
+from repro.bench.common import ExperimentResult, GUEST_MEMORY, HOST_MEMORY
+from repro.cluster import Host, HostSpec, VMSpec, failover, first_fit
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import RunOutcome
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    GuestProgressWatchdog,
+    MicroRebooter,
+    RetryPolicy,
+)
+from repro.guest import KernelOptions, build_kernel, read_diag, workloads
+from repro.guest.workloads import expected_memtouch
+from repro.migration import LiveMigrator
+from repro.util.errors import GuestError
+from repro.util.table import Table
+from repro.util.units import GIB
+
+#: One seed drives every scenario; change it and every schedule moves
+#: together, reproducibly.
+E10_SEED = 1109
+
+
+def _boot_memtouch(hv: Hypervisor, name: str, pages: int, passes: int):
+    vm = hv.create_vm(
+        GuestConfig(name=name, memory_bytes=GUEST_MEMORY,
+                    virt_mode=VirtMode.HW_ASSIST, mmu_mode=MMUVirtMode.NESTED)
+    )
+    kernel = build_kernel(KernelOptions(memory_bytes=GUEST_MEMORY))
+    hv.load_program(vm, kernel)
+    hv.load_program(vm, workloads.memtouch(pages, passes))
+    hv.reset_vcpu(vm, kernel.entry)
+    return vm
+
+
+def _migration_plan() -> FaultPlan:
+    return FaultPlan(seed=E10_SEED, specs=[
+        # Pin one stream drop at the 257th page send and two wire
+        # corruptions early in round 0: rate=1.0 with after/count makes
+        # the schedule exact, not probabilistic.
+        FaultSpec("migration.xfer_drop", rate=1.0, after=256, count=1),
+        FaultSpec("migration.page_corrupt", rate=1.0, after=64, count=2),
+    ])
+
+
+def _migrate_once(pages: int, passes: int, injector):
+    src = Hypervisor(memory_bytes=HOST_MEMORY)
+    dst = Hypervisor(memory_bytes=HOST_MEMORY)
+    vm = _boot_memtouch(src, "e10-mig", pages, passes)
+    src.run(vm, max_guest_instructions=100_000)  # get mid-workload
+    migrator = LiveMigrator(src, dst, bytes_per_cycle=4.0, injector=injector,
+                            retry_policy=RetryPolicy(max_retries=6))
+    result = migrator.migrate(vm, quantum_instructions=40_000, max_rounds=6,
+                              threshold_pages=4)
+    outcome = dst.run(result.dest_vm, max_guest_instructions=80_000_000)
+    diag = read_diag(result.dest_vm.guest_mem)
+    return result, outcome, diag
+
+
+def _migration_scenario(pages: int, passes: int) -> Dict[str, object]:
+    expected = expected_memtouch(pages, passes)
+    baseline, b_out, b_diag = _migrate_once(pages, passes, None)
+
+    inj = FaultInjector(_migration_plan())
+    faulted, f_out, f_diag = _migrate_once(pages, passes, inj)
+    replay = FaultInjector(_migration_plan())
+    _migrate_once(pages, passes, replay)
+
+    correct = (
+        b_out is RunOutcome.SHUTDOWN and b_diag.user_result == expected
+        and f_out is RunOutcome.SHUTDOWN and f_diag.user_result == expected
+    )
+    if not correct:
+        raise GuestError(
+            f"E10 migration corrupted the guest: baseline=({b_out}, "
+            f"{b_diag.user_result}), faulted=({f_out}, "
+            f"{f_diag.user_result}), expected={expected}"
+        )
+    # A from-scratch restart after the drop would re-send everything
+    # already delivered (the 256 pages before the drop) on top of a
+    # full second migration.
+    restart_pages = 256 + baseline.pages_copied
+    return {
+        "baseline": baseline,
+        "faulted": faulted,
+        "correct": correct,
+        "resent_pages": faulted.pages_copied - baseline.pages_copied,
+        "restart_pages_hypothetical": restart_pages,
+        "resume_beats_restart": faulted.pages_copied < restart_pages,
+        "deterministic": inj.trace_bytes() == replay.trace_bytes(),
+        "trace_bytes": inj.trace_bytes(),
+    }
+
+
+def _watchdog_scenario(pages: int, passes: int) -> Dict[str, object]:
+    hv = Hypervisor(memory_bytes=HOST_MEMORY)
+    vm = _boot_memtouch(hv, "e10-hang", pages, passes)
+    hv.injector = FaultInjector(FaultPlan(seed=E10_SEED, specs=[
+        # The first run consumes 5 pump opportunities; the stall lands
+        # a few pumps into the watched run.
+        FaultSpec("vcpu.stall", rate=1.0, after=8, count=1),
+    ]))
+    rebooter = MicroRebooter(hv)
+
+    hv.run(vm, max_guest_instructions=20_000)  # healthy progress first
+    rebooter.checkpoint(vm)
+    instret_before_hang = vm.vcpus[0].cpu.instret
+
+    watchdog = GuestProgressWatchdog(idle_pump_limit=6)
+    outcome = hv.run(vm, max_guest_instructions=80_000_000, watchdog=watchdog)
+    hung_detected = outcome is RunOutcome.HUNG
+
+    recovered = rebooter.reboot(vm)
+    preserved = recovered.vcpus[0].cpu.instret >= instret_before_hang
+    final = hv.run(recovered, max_guest_instructions=80_000_000,
+                   watchdog=watchdog)
+    diag = read_diag(recovered.guest_mem)
+    expected = expected_memtouch(pages, passes)
+    correct = final is RunOutcome.SHUTDOWN and diag.user_result == expected
+    if not (hung_detected and correct):
+        raise GuestError(
+            f"E10 watchdog scenario failed: hang outcome={outcome}, "
+            f"final={final}, result={diag.user_result}, expected={expected}"
+        )
+    return {
+        "hung_detected": hung_detected,
+        "hangs": watchdog.hangs_detected,
+        "reboots": rebooter.reboots,
+        "progress_preserved": preserved,
+        "correct": correct,
+    }
+
+
+def _failover_scenario(n_hosts: int = 6, n_vms: int = 12) -> Dict[str, object]:
+    spec = HostSpec(name="host", cores=8, cpu_capacity=8.0,
+                    memory_bytes=16 * GIB)
+    hosts = [Host(spec, i) for i in range(n_hosts)]
+    vms = [VMSpec(name=f"vm{i:02d}", cpu_demand=1.0, memory_bytes=2 * GIB)
+           for i in range(n_vms)]
+    placement = first_fit(vms, hosts)
+
+    injector = FaultInjector(FaultPlan(seed=E10_SEED, specs=[
+        # after=0, count=1: the first host polled dies -- the one
+        # first-fit packed fullest.
+        FaultSpec("host.crash", rate=1.0, after=0, count=1),
+    ]))
+    crashed = [h.name for h in hosts if h.maybe_crash(injector)]
+    stranded = sum(len(h.vms) for h in hosts if not h.alive)
+    report = failover(placement)
+    all_on_survivors = all(
+        placement.host_of(vm.name) is not None
+        and placement.host_of(vm.name).alive
+        for vm in vms if vm.name not in report.lost
+    )
+    return {
+        "crashed": crashed,
+        "stranded": stranded,
+        "report": report,
+        "all_on_survivors": all_on_survivors,
+    }
+
+
+def run_e10(quick: bool = False) -> ExperimentResult:
+    pages, passes = (12, 400) if quick else (40, 2000)
+    migration = _migration_scenario(pages, passes)
+    watchdog = _watchdog_scenario(pages, passes)
+    fail = _failover_scenario()
+
+    table = Table(
+        "E10: fault injection / detection / recovery "
+        f"(seed={E10_SEED}{', quick' if quick else ''})",
+        ["scenario", "fault", "detected", "recovered", "detail"],
+    )
+    faulted = migration["faulted"]
+    table.add_row(
+        "migration", "link drop + 2 corrupt pages",
+        f"{faulted.retries} retries, {faulted.corrupt_pages_detected} crc",
+        "resume from dirty bitmap",
+        f"resent {migration['resent_pages']} vs "
+        f"{migration['restart_pages_hypothetical']} restart; "
+        f"deterministic={migration['deterministic']}",
+    )
+    table.add_row(
+        "hung vm", "vcpu.stall", f"watchdog ({watchdog['hangs']} hang)",
+        f"micro-reboot x{watchdog['reboots']}",
+        f"progress preserved={watchdog['progress_preserved']}, "
+        f"result correct={watchdog['correct']}",
+    )
+    report = fail["report"]
+    table.add_row(
+        "host crash", f"{', '.join(fail['crashed'])} down",
+        f"{fail['stranded']} VMs stranded",
+        f"{len(report.recovered)} re-placed, {len(report.lost)} lost",
+        f"all on survivors={fail['all_on_survivors']}",
+    )
+    return ExperimentResult(
+        "E10",
+        table,
+        raw={"migration": migration, "watchdog": watchdog, "failover": fail},
+    )

@@ -4,7 +4,8 @@ Usage::
 
     python -m repro list                      # what can run
     python -m repro run e1                    # one experiment table
-    python -m repro run all                   # every table (E1-E9)
+    python -m repro run all                   # every table (E1-E10)
+    python -m repro run e10 --quick           # resilience smoke run
     python -m repro boot --mode hw-nested --workload hello
 """
 
@@ -25,6 +26,7 @@ from repro.bench import (
     run_e8,
     run_e9_bt,
     run_e9_exit_cost,
+    run_e10,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -40,7 +42,11 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e8": run_e8,
     "e9a": run_e9_exit_cost,
     "e9b": run_e9_bt,
+    "e10": run_e10,
 }
+
+#: Experiments accepting a ``quick`` kwarg (smaller, CI-friendly run).
+QUICK_AWARE = {"e10"}
 
 MODES = {
     "native": (None, None, False),
@@ -77,7 +83,8 @@ def _cmd_run(args) -> int:
             print(f"unknown experiment {key!r}; try: {' '.join(EXPERIMENTS)}",
                   file=sys.stderr)
             return 2
-        result = fn()
+        quick = getattr(args, "quick", False) and key in QUICK_AWARE
+        result = fn(quick=True) if quick else fn()
         print(result.render())
         for extra in ("latency_table", "fleet_table"):
             if extra in result.raw:
@@ -132,7 +139,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_p = sub.add_parser("run", help="regenerate experiment tables")
     run_p.add_argument("experiment",
-                       help="e1..e9b, e6f/e7f (functional), or 'all'")
+                       help="e1..e10, e6f/e7f (functional), or 'all'")
+    run_p.add_argument("--quick", action="store_true",
+                       help="smaller, CI-friendly variant where supported")
 
     boot_p = sub.add_parser("boot", help="boot NanoOS with a workload")
     boot_p.add_argument("--mode", default="hw-nested")

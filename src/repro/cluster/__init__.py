@@ -20,9 +20,12 @@ Models a fleet of physical hosts running many VMs:
 from repro.cluster.host import HostSpec, VMSpec, Host, Placement
 from repro.cluster.placement import (
     PlacementPolicy,
+    FailoverReport,
+    failover,
     first_fit,
     best_fit,
     worst_fit,
+    place,
     plan_consolidation,
 )
 from repro.cluster.interference import host_performance, HostPerformance
@@ -41,9 +44,12 @@ __all__ = [
     "Host",
     "Placement",
     "PlacementPolicy",
+    "FailoverReport",
+    "failover",
     "first_fit",
     "best_fit",
     "worst_fit",
+    "place",
     "plan_consolidation",
     "host_performance",
     "HostPerformance",

@@ -54,6 +54,25 @@ class Host:
         self.index = index
         self.name = f"{spec.name}-{index}"
         self.vms: Dict[str, VMSpec] = {}
+        self.alive = True
+
+    # -- failure model -------------------------------------------------------
+
+    def fail(self) -> None:
+        """Whole-host crash: the host stops accepting placements.
+
+        Its VMs stay listed as stranded until
+        :func:`repro.cluster.placement.failover` drains them onto
+        survivors.
+        """
+        self.alive = False
+
+    def maybe_crash(self, injector) -> bool:
+        """Evaluate the ``host.crash`` fault site; True if this host died."""
+        if injector is not None and self.alive and injector.fires("host.crash"):
+            self.fail()
+            return True
+        return False
 
     @property
     def memory_used(self) -> int:
@@ -73,8 +92,11 @@ class Host:
         return min(1.0, self.cpu_demand / self.spec.cpu_capacity)
 
     def fits(self, vm: VMSpec) -> bool:
-        """Memory is the hard constraint; CPU may oversubscribe."""
-        return vm.memory_bytes <= self.memory_free
+        """Memory is the hard constraint; CPU may oversubscribe.
+
+        A dead host fits nothing.
+        """
+        return self.alive and vm.memory_bytes <= self.memory_free
 
     def place(self, vm: VMSpec) -> None:
         if vm.name in self.vms:

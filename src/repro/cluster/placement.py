@@ -1,7 +1,8 @@
-"""VM placement: bin-packing policies and the consolidation planner."""
+"""VM placement: bin-packing policies, consolidation, host failover."""
 
 import enum
-from typing import Callable, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.cluster.host import Host, HostSpec, Placement, VMSpec
 from repro.util.errors import ConfigError
@@ -11,6 +12,20 @@ class PlacementPolicy(enum.Enum):
     FIRST_FIT = "first_fit"
     BEST_FIT = "best_fit"
     WORST_FIT = "worst_fit"
+
+
+#: Candidate selection per policy; candidates are pre-filtered by fits().
+_CHOOSERS: Dict[
+    PlacementPolicy, Callable[[VMSpec, List[Host]], Optional[Host]]
+] = {
+    PlacementPolicy.FIRST_FIT: lambda vm, cs: cs[0] if cs else None,
+    PlacementPolicy.BEST_FIT: (
+        lambda vm, cs: min(cs, key=lambda h: h.memory_free) if cs else None
+    ),
+    PlacementPolicy.WORST_FIT: (
+        lambda vm, cs: max(cs, key=lambda h: h.memory_free) if cs else None
+    ),
+}
 
 
 def _place(
@@ -33,36 +48,70 @@ def _place(
 
 def first_fit(vms: Sequence[VMSpec], hosts: List[Host]) -> Placement:
     """Place each VM on the first host with room."""
-    return _place(vms, hosts, lambda vm, cs: cs[0] if cs else None)
+    return _place(vms, hosts, _CHOOSERS[PlacementPolicy.FIRST_FIT])
 
 
 def best_fit(vms: Sequence[VMSpec], hosts: List[Host]) -> Placement:
     """Tightest fit: the candidate with the least free memory left."""
-    return _place(
-        vms,
-        hosts,
-        lambda vm, cs: min(cs, key=lambda h: h.memory_free) if cs else None,
-    )
+    return _place(vms, hosts, _CHOOSERS[PlacementPolicy.BEST_FIT])
 
 
 def worst_fit(vms: Sequence[VMSpec], hosts: List[Host]) -> Placement:
     """Loosest fit: spread load onto the emptiest candidate."""
-    return _place(
-        vms,
-        hosts,
-        lambda vm, cs: max(cs, key=lambda h: h.memory_free) if cs else None,
-    )
+    return _place(vms, hosts, _CHOOSERS[PlacementPolicy.WORST_FIT])
 
 
 def place(
     vms: Sequence[VMSpec], hosts: List[Host], policy: PlacementPolicy
 ) -> Placement:
     """Dispatch by policy enum."""
-    if policy is PlacementPolicy.FIRST_FIT:
-        return first_fit(vms, hosts)
-    if policy is PlacementPolicy.BEST_FIT:
-        return best_fit(vms, hosts)
-    return worst_fit(vms, hosts)
+    return _place(vms, hosts, _CHOOSERS[policy])
+
+
+@dataclass
+class FailoverReport:
+    """Outcome of one failover pass over a placement."""
+
+    failed_hosts: List[str] = field(default_factory=list)
+    recovered: List[str] = field(default_factory=list)
+    lost: List[str] = field(default_factory=list)
+    #: (vm, from_host, to_host) for every successful re-placement.
+    moves: List[Tuple[str, str, str]] = field(default_factory=list)
+
+
+def failover(
+    placement: Placement,
+    policy: PlacementPolicy = PlacementPolicy.WORST_FIT,
+) -> FailoverReport:
+    """Re-place every VM stranded on dead hosts onto the survivors.
+
+    Stranded VMs are drained largest-first (better packing under
+    pressure). A VM no survivor can hold is reported in ``lost`` --
+    capacity exhaustion is a real outcome, not an exception: the caller
+    decides whether lost VMs warrant paging an operator or spinning up
+    hosts.
+    """
+    choose = _CHOOSERS[policy]
+    report = FailoverReport(
+        failed_hosts=[h.name for h in placement.hosts if not h.alive]
+    )
+    for host in placement.hosts:
+        if host.alive or not host.vms:
+            continue
+        stranded = sorted(
+            host.vms.values(), key=lambda v: v.memory_bytes, reverse=True
+        )
+        for vm in stranded:
+            host.remove(vm.name)
+            candidates = [h for h in placement.hosts if h.fits(vm)]
+            target = choose(vm, candidates)
+            if target is None:
+                report.lost.append(vm.name)
+                continue
+            target.place(vm)
+            report.recovered.append(vm.name)
+            report.moves.append((vm.name, host.name, target.name))
+    return report
 
 
 def plan_consolidation(

@@ -60,6 +60,12 @@ from repro.util.units import MIB, PAGE_SHIFT, bytes_to_pages
 #: Instructions to run between device pumps.
 PUMP_SLICE = 4000
 
+#: Without a watchdog attached, a stalled vCPU still terminates the run
+#: loop after this many consecutive no-progress pumps (safety net so an
+#: instruction budget -- which a stalled vCPU can never spend -- does
+#: not spin forever).
+STALL_HUNG_PUMPS = 64
+
 
 class HypercallNumbers(enum.IntEnum):
     """The hypercall ABI."""
@@ -86,6 +92,7 @@ class RunOutcome(enum.Enum):
     SHUTDOWN = "shutdown"  # guest requested power-off
     INSTR_LIMIT = "instr_limit"
     CYCLE_LIMIT = "cycle_limit"
+    HUNG = "hung"  # no forward progress: watchdog fired (or stall limit)
 
 
 #: gfn of the PV shared-info page (counted from the top of guest RAM).
@@ -124,6 +131,10 @@ class Hypervisor:
         #: Optional repro.util.eventlog.EventLog: when set, every VM
         #: exit is traced with its reason, handler detail, and guest pc.
         self.trace = None
+        #: Optional repro.faults.injector.FaultInjector: when set, the
+        #: run loop evaluates the ``vcpu.stall`` site each pump (a hung
+        #: guest: the vCPU burns cycles but retires nothing).
+        self.injector = None
 
     # -- VM construction --------------------------------------------------
 
@@ -273,14 +284,26 @@ class Hypervisor:
         vm: VirtualMachine,
         max_guest_instructions: Optional[int] = None,
         max_cycles: Optional[int] = None,
+        watchdog=None,
     ) -> RunOutcome:
-        """Run vCPU 0 of ``vm`` until halt/shutdown/budget."""
+        """Run vCPU 0 of ``vm`` until halt/shutdown/budget.
+
+        ``watchdog`` (a
+        :class:`~repro.faults.watchdog.GuestProgressWatchdog`) is beat
+        with the retired-instruction counter immediately before each
+        guest entry -- a legally idle (halted) VM never reaches that
+        point without pending work, so it cannot false-positive. When
+        the watchdog declares a hang, ``run`` returns
+        :data:`RunOutcome.HUNG` and leaves the VM as-is for recovery
+        (see :class:`~repro.faults.recovery.MicroRebooter`).
+        """
         vcpu = vm.vcpus[0]
         cpu = vcpu.cpu
         start_instret = cpu.instret
         start_cycles = self._vm_time(vm)
         timer: TimerDevice = vm.devices["timer"]
         power: PowerControl = vm.devices["power"]
+        stalled_pumps = 0
 
         while True:
             if power.shutdown_requested:
@@ -310,6 +333,20 @@ class Hypervisor:
                 if self._vm_idle(vm, vcpu):
                     continue  # injection refused (virtual IE off): idle again
 
+            if self.injector is not None and not vcpu.stalled and (
+                self.injector.fires("vcpu.stall")
+            ):
+                vcpu.stalled = True
+
+            if watchdog is not None and watchdog.beat(cpu.instret):
+                return RunOutcome.HUNG
+            if vcpu.stalled:
+                stalled_pumps += 1
+                if watchdog is None and stalled_pumps >= STALL_HUNG_PUMPS:
+                    return RunOutcome.HUNG
+            else:
+                stalled_pumps = 0
+
             try:
                 self._enter_guest(vm, vcpu, max_guest_instructions, start_instret)
             except VMExit as exit_:
@@ -322,6 +359,11 @@ class Hypervisor:
             slice_ = min(
                 slice_, max_guest_instructions - (cpu.instret - start_instret)
             )
+        if vcpu.stalled:
+            # A hung guest: wall-clock time passes but nothing retires.
+            # The watchdog sees instret flat-lining and declares a hang.
+            cpu.cycles += slice_
+            return
         if (
             vm.bt is not None
             and vcpu.virtual_mode == MODE_KERNEL

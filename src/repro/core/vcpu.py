@@ -36,6 +36,11 @@ class VCPU:
         #: that contradicts its virtual state (Popek-Goldberg violation
         #: under pure trap-and-emulate).
         self.incorrectness_observed = False
+        #: Hypervisor-private fault state (``vcpu.stall`` injection): a
+        #: stalled vCPU burns cycles without retiring instructions. Not
+        #: guest-architectural, so snapshots and migration ignore it --
+        #: a micro-reboot clears it by construction.
+        self.stalled = False
 
     # -- virtual privilege ----------------------------------------------------
 

@@ -17,7 +17,7 @@ Ports (base = :data:`BLOCK_BASE`)::
 
 from repro.devices.bus import PortDevice
 from repro.devices.irq import IRQLine
-from repro.util.errors import DeviceError
+from repro.util.errors import DeviceError, MemoryError_
 
 BLOCK_BASE = 0x50
 BLK_SECTOR = BLOCK_BASE
@@ -37,22 +37,57 @@ STATUS_ERROR = 2
 
 
 class BlockDevice(PortDevice):
-    """Sector-addressed disk with port-programmed DMA."""
+    """Sector-addressed disk with port-programmed DMA.
 
-    def __init__(self, mem, irq: IRQLine, capacity_sectors: int = 2048):
+    Fault sites (evaluated when an ``injector`` is attached):
+    ``block.io_error`` completes the command with ``STATUS_ERROR``
+    (transient media error -- the driver retries); ``block.stuck``
+    wedges the device: commands are accepted but never complete until
+    the host :meth:`reset`\\ s it (the
+    :class:`~repro.faults.watchdog.DeviceTimeoutMonitor` recovery path).
+    """
+
+    def __init__(self, mem, irq: IRQLine, capacity_sectors: int = 2048,
+                 injector=None):
         if capacity_sectors <= 0:
             raise DeviceError("disk needs at least one sector")
         self.mem = mem
         self.irq = irq
         self.capacity_sectors = capacity_sectors
+        self.injector = injector
         self.data = bytearray(capacity_sectors * SECTOR_SIZE)
         self._sector = 0
         self._count = 1
         self._dma = 0
+        self._last_cmd = None
         self.status = STATUS_READY
+        self.stuck = False
         self.reads = 0
         self.writes = 0
+        self.io_errors = 0
+        self.stalled_commands = 0
+        self.resets = 0
+        self.commands = 0
+        self.completions = 0
         self.sectors_transferred = 0
+
+    # -- detection/recovery contract (DeviceTimeoutMonitor) -----------------
+
+    @property
+    def ops_submitted(self) -> int:
+        return self.commands
+
+    @property
+    def ops_completed(self) -> int:
+        return self.completions
+
+    def reset(self) -> None:
+        """Host-side device reset: clear the wedge, replay the last command."""
+        self.resets += 1
+        self.stuck = False
+        self.status = STATUS_READY
+        if self._last_cmd is not None:
+            self._execute(self._last_cmd, replay=True)
 
     # -- direct host-side access (test setup, image loading) ---------------
 
@@ -94,27 +129,53 @@ class BlockDevice(PortDevice):
         else:
             raise DeviceError(f"block device has no writable port {port:#x}")
 
-    def _execute(self, cmd: int) -> None:
+    def _execute(self, cmd: int, replay: bool = False) -> None:
+        if not replay:
+            self.commands += 1
+            self._last_cmd = cmd
+            if self.injector is not None and not self.stuck and (
+                self.injector.fires("block.stuck")
+            ):
+                self.stuck = True
+        if self.stuck:
+            self.stalled_commands += 1
+            return  # wedged: no completion, no interrupt -- until reset()
+        if self.injector is not None and self.injector.fires("block.io_error"):
+            self.io_errors += 1
+            self.status = STATUS_ERROR
+            self.completions += 1
+            self.irq.raise_()
+            return
         try:
             self._check_range(self._sector, self._count)
         except DeviceError:
             self.status = STATUS_ERROR
+            self.completions += 1
             self.irq.raise_()
             return
         nbytes = self._count * SECTOR_SIZE
         off = self._sector * SECTOR_SIZE
-        if cmd == CMD_READ:
-            self.mem.write_bytes(self._dma, bytes(self.data[off : off + nbytes]))
-            self.reads += 1
-        elif cmd == CMD_WRITE:
-            self.data[off : off + nbytes] = self.mem.read_bytes(self._dma, nbytes)
-            self.writes += 1
-        else:
+        try:
+            if cmd == CMD_READ:
+                self.mem.write_bytes(self._dma, bytes(self.data[off : off + nbytes]))
+                self.reads += 1
+            elif cmd == CMD_WRITE:
+                self.data[off : off + nbytes] = self.mem.read_bytes(self._dma, nbytes)
+                self.writes += 1
+        except MemoryError_ as err:
+            # Subsystem boundary: DMA target outside guest RAM surfaces
+            # as a device error with the memory fault as the cause.
+            raise DeviceError(
+                f"block DMA at gpa {self._dma:#x} references bad guest memory"
+            ) from err
+        if cmd not in (CMD_READ, CMD_WRITE):
             self.status = STATUS_ERROR
+            self.completions += 1
             self.irq.raise_()
             return
         self.sectors_transferred += self._count
         self.status = STATUS_READY
+        self.completions += 1
         self.irq.raise_()
 
     def _check_range(self, sector: int, count: int) -> None:

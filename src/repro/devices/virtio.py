@@ -44,7 +44,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.devices.block import SECTOR_SIZE
 from repro.devices.bus import PortDevice
 from repro.devices.irq import IRQLine
-from repro.util.errors import DeviceError
+from repro.util.errors import DeviceError, MemoryError_
 
 VIRTIO_BLK_BASE = 0x70
 VIRTIO_NET_BASE = 0x80  # tx queue; rx queue at +8
@@ -169,17 +169,45 @@ class _VirtQueuePorts(PortDevice):
 
 
 class VirtioBlockDevice(_VirtQueuePorts):
-    """Paravirtual disk: one request queue."""
+    """Paravirtual disk: one request queue.
+
+    Fault site ``virtio.ring_stuck`` (with an ``injector`` attached):
+    the device stops draining its ring -- kicks are counted but ignored,
+    exactly the symptom of a lost interrupt or a wedged backend thread.
+    The host-side :meth:`reset` clears the wedge and serves the backlog
+    (:class:`~repro.faults.watchdog.DeviceTimeoutMonitor` drives it).
+    """
 
     def __init__(self, mem, irq: IRQLine, capacity_sectors: int = 2048,
-                 base: int = VIRTIO_BLK_BASE):
+                 base: int = VIRTIO_BLK_BASE, injector=None):
         super().__init__(mem, base)
         self.irq = irq
         self.capacity_sectors = capacity_sectors
+        self.injector = injector
         self.data = bytearray(capacity_sectors * SECTOR_SIZE)
+        self.stuck = False
+        self.stalled_kicks = 0
+        self.resets = 0
+        self.completions = 0
         self.reads = 0
         self.writes = 0
         self.errors = 0
+
+    # -- detection/recovery contract (DeviceTimeoutMonitor) -----------------
+
+    @property
+    def ops_submitted(self) -> int:
+        return self.queue.kicks
+
+    @property
+    def ops_completed(self) -> int:
+        return self.completions
+
+    def reset(self) -> None:
+        """Clear a stuck ring and drain whatever the guest posted."""
+        self.resets += 1
+        self.stuck = False
+        self._drain()
 
     def load_image(self, data: bytes, sector: int = 0) -> None:
         offset = sector * SECTOR_SIZE
@@ -198,12 +226,30 @@ class VirtioBlockDevice(_VirtQueuePorts):
         self.queue_port_write(port - self.base, value, self._drain)
 
     def _drain(self) -> None:
+        if self.injector is not None and not self.stuck and (
+            self.injector.fires("virtio.ring_stuck")
+        ):
+            self.stuck = True
+        if self.stuck:
+            # Ring wedged: the kick is swallowed, requests sit in the
+            # avail ring untouched until the host reset()s the device.
+            self.stalled_kicks += 1
+            return
         processed = 0
         while True:
             head = self.queue.pop_avail()
             if head is None:
                 break
-            self._process(head)
+            try:
+                self._process(head)
+            except MemoryError_ as err:
+                # Subsystem boundary: guest handed us a descriptor that
+                # points at unbacked memory. Surface it as a device
+                # error, keeping the memory fault as the cause.
+                raise DeviceError(
+                    f"virtio-blk request {head}: descriptor references "
+                    f"bad guest memory"
+                ) from err
             processed += 1
         if processed:
             self.irq.raise_()
@@ -251,6 +297,7 @@ class VirtioBlockDevice(_VirtQueuePorts):
         status_addr, _status_len, _ = chain[-1]
         self.queue.mem.write_bytes(status_addr, bytes([status]))
         self.queue.push_used(head, written + 1)
+        self.completions += 1
 
 
 class VirtioNetDevice(PortDevice):

@@ -1,0 +1,173 @@
+"""Deterministic fault injection: plans, sites, and the injector.
+
+Every fault in pyvisor fires from a :class:`FaultInjector` evaluated at
+a **named injection point** (a "site"): subsystems ask
+``injector.fires("link.drop")`` at each fault opportunity and act on the
+answer. Decisions come from per-site :class:`~repro.util.rng.DeterministicRNG`
+streams forked from one seed, so a fault schedule is a pure function of
+``(plan, seed)`` -- rerunning an experiment replays byte-for-byte the
+same faults (assert with :meth:`FaultInjector.trace_bytes`).
+
+Known sites (subsystems may define more; unplanned sites never fire):
+
+========================  ====================================================
+``block.io_error``        emulated disk completes a command with an I/O error
+``block.stuck``           emulated disk wedges: accepts commands, never
+                          completes them (cleared by ``reset()``)
+``virtio.ring_stuck``     virtio device ignores kicks; the ring stalls until
+                          the device is reset
+``link.drop``             in-flight transfer dies partway (LinkError)
+``link.degrade``          transfer runs at a fraction of link bandwidth
+``link.partition``        link goes down for ``partition_ticks``
+``migration.xfer_drop``   migration stream breaks mid-batch (retry/backoff)
+``migration.page_corrupt``page corrupted in flight; checksum verify catches it
+``vcpu.stall``            hypervisor-layer wedge: the vCPU stops retiring
+                          instructions (detected by the guest-progress
+                          watchdog, recovered by micro-reboot)
+``host.crash``            whole cluster host fails (recovered by failover)
+========================  ====================================================
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import ConfigError
+from repro.util.rng import DeterministicRNG
+
+_MASK64 = (1 << 64) - 1
+
+
+def _site_salt(site: str) -> int:
+    """FNV-1a over the site name: a stable, process-independent salt.
+
+    Python's builtin ``hash`` is randomized per process, which would
+    destroy cross-run reproducibility of the per-site RNG forks.
+    """
+    h = 0xCBF29CE484222325
+    for b in site.encode("utf-8"):
+        h = ((h ^ b) * 0x100000001B3) & _MASK64
+    return h
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One site's fault behaviour.
+
+    ``rate`` is the Bernoulli firing probability per opportunity;
+    ``after`` opportunities are skipped first, and at most ``count``
+    firings happen (None = unlimited). ``rate=1.0, after=K, count=1``
+    pins exactly one fault at the (K+1)-th opportunity -- the idiom the
+    acceptance tests use to place faults deterministically.
+    """
+
+    site: str
+    rate: float = 0.0
+    count: Optional[int] = None
+    after: int = 0
+
+    def validate(self) -> None:
+        if not self.site:
+            raise ConfigError("fault site name must be non-empty")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"fault rate {self.rate} outside [0, 1]")
+        if self.count is not None and self.count < 0:
+            raise ConfigError("fault count must be non-negative")
+        if self.after < 0:
+            raise ConfigError("fault 'after' must be non-negative")
+
+
+@dataclass
+class FaultPlan:
+    """A seed plus one :class:`FaultSpec` per site."""
+
+    seed: int = 1
+    specs: List[FaultSpec] = field(default_factory=list)
+
+    def validate(self) -> None:
+        seen = set()
+        for spec in self.specs:
+            spec.validate()
+            if spec.site in seen:
+                raise ConfigError(f"duplicate fault spec for site {spec.site!r}")
+            seen.add(spec.site)
+
+    @classmethod
+    def from_rates(cls, seed: int, rates: Dict[str, float]) -> "FaultPlan":
+        """Convenience: uniform Bernoulli specs from a site -> rate map."""
+        return cls(seed=seed,
+                   specs=[FaultSpec(site, rate) for site, rate in rates.items()])
+
+
+class _SiteState:
+    __slots__ = ("spec", "rng", "opportunities", "fired")
+
+    def __init__(self, spec: FaultSpec, rng: DeterministicRNG):
+        self.spec = spec
+        self.rng = rng
+        self.opportunities = 0
+        self.fired = 0
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at named injection points.
+
+    Each site draws from its own forked RNG stream, so adding
+    opportunities at one site never perturbs another's schedule. Every
+    decision is appended to :attr:`trace`; :meth:`trace_bytes`
+    serializes it for byte-for-byte reproducibility assertions.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        root = DeterministicRNG(plan.seed)
+        self._sites: Dict[str, _SiteState] = {
+            spec.site: _SiteState(spec, root.fork(_site_salt(spec.site)))
+            for spec in plan.specs
+        }
+        #: Every decision taken: (site, opportunity index, fired).
+        self.trace: List[Tuple[str, int, bool]] = []
+
+    def fires(self, site: str) -> bool:
+        """Record one opportunity at ``site``; True when the fault fires."""
+        state = self._sites.get(site)
+        if state is None:
+            return False  # unplanned site: never fires, never draws
+        index = state.opportunities
+        state.opportunities += 1
+        fired = False
+        if index >= state.spec.after and (
+            state.spec.count is None or state.fired < state.spec.count
+        ):
+            fired = state.rng.random() < state.spec.rate
+        if fired:
+            state.fired += 1
+        self.trace.append((site, index, fired))
+        return fired
+
+    def uniform(self, site: str) -> float:
+        """Auxiliary deterministic draw for fault magnitude at ``site``."""
+        state = self._sites.get(site)
+        if state is None:
+            return 0.0
+        return state.rng.random()
+
+    def opportunities(self, site: str) -> int:
+        state = self._sites.get(site)
+        return state.opportunities if state is not None else 0
+
+    def fired(self, site: str) -> int:
+        state = self._sites.get(site)
+        return state.fired if state is not None else 0
+
+    def trace_bytes(self) -> bytes:
+        """The decision log, serialized deterministically."""
+        lines = [
+            f"{site} {index} {int(fired)}" for site, index, fired in self.trace
+        ]
+        return ("\n".join(lines) + "\n").encode("utf-8") if lines else b""
+
+    def __repr__(self) -> str:
+        fired = sum(1 for _s, _i, f in self.trace if f)
+        return (f"<FaultInjector seed={self.plan.seed} sites={len(self._sites)} "
+                f"decisions={len(self.trace)} fired={fired}>")

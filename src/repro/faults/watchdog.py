@@ -1,0 +1,116 @@
+"""Failure detection: guest-progress watchdog, device operation timeouts.
+
+Detection is deliberately cheap and hypervisor-side, as in real
+platforms: the guest is never trusted to report its own death.
+
+* :class:`GuestProgressWatchdog` -- heartbeat is the vCPU's retired-
+  instruction counter, observed once per run-loop pump. A VM whose
+  counter freezes for ``idle_pump_limit`` consecutive pumps is declared
+  hung (the run loop returns ``RunOutcome.HUNG``); recovery is a
+  ReHype-style micro-reboot (:mod:`repro.faults.recovery`).
+* :class:`DeviceTimeoutMonitor` -- per-device operation timeout: a
+  device that keeps accepting operations but stops completing them is
+  reset after ``stall_checks`` stalled polls, which clears the wedge
+  and drains the backlog.
+"""
+
+from repro.util.errors import ConfigError
+
+
+class GuestProgressWatchdog:
+    """Hung-VM detector over the retired-instruction heartbeat.
+
+    ``beat(instret)`` is called by the hypervisor run loop immediately
+    before each guest entry (so legally-idle halted VMs, which never
+    reach guest entry without pending work, cannot false-positive).
+    """
+
+    def __init__(self, idle_pump_limit: int = 8):
+        if idle_pump_limit <= 0:
+            raise ConfigError("idle_pump_limit must be positive")
+        self.idle_pump_limit = idle_pump_limit
+        self.last_instret = None
+        self.idle_pumps = 0
+        self.pumps = 0
+        self.hangs_detected = 0
+
+    def beat(self, instret: int) -> bool:
+        """Observe one heartbeat; True when the VM is declared hung."""
+        self.pumps += 1
+        if self.last_instret is None or instret > self.last_instret:
+            self.last_instret = instret
+            self.idle_pumps = 0
+            return False
+        self.idle_pumps += 1
+        if self.idle_pumps >= self.idle_pump_limit:
+            self.hangs_detected += 1
+            self.idle_pumps = 0  # re-arm for the recovered VM
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (f"<GuestProgressWatchdog idle={self.idle_pumps}/"
+                f"{self.idle_pump_limit} hangs={self.hangs_detected}>")
+
+
+class DeviceTimeoutMonitor:
+    """Operation timeout + reset path for one device.
+
+    The device contract is three members: ``ops_submitted`` and
+    ``ops_completed`` monotonic counters, and ``reset()`` which clears
+    any wedge and serves the backlog. ``check()`` is polled by the host
+    (tests and E10 poll it per device pump); after ``stall_checks``
+    consecutive polls with outstanding-but-unprogressing work the device
+    is reset.
+    """
+
+    def __init__(self, device, stall_checks: int = 2):
+        if stall_checks <= 0:
+            raise ConfigError("stall_checks must be positive")
+        for member in ("ops_submitted", "ops_completed", "reset"):
+            if not hasattr(device, member):
+                raise ConfigError(
+                    f"{type(device).__name__} lacks {member!r}; cannot monitor"
+                )
+        self.device = device
+        self.stall_checks = stall_checks
+        self._completed = device.ops_completed
+        self._submitted = device.ops_submitted
+        # Attaching to an already-wedged device counts its backlog.
+        self._outstanding = device.ops_submitted > device.ops_completed
+        self._stalled = 0
+        self.timeouts = 0  # resets this monitor fired
+
+    def check(self) -> bool:
+        """Poll once; True when the poll timed out and reset the device."""
+        submitted = self.device.ops_submitted
+        completed = self.device.ops_completed
+        if completed > self._completed:
+            # Progress: everything up to the seen submissions is assumed
+            # to be completing normally.
+            self._completed = completed
+            self._submitted = submitted
+            self._outstanding = False
+            self._stalled = 0
+            return False
+        if submitted > self._submitted:
+            self._submitted = submitted
+            self._outstanding = True
+        if not self._outstanding:
+            return False
+        self._stalled += 1
+        if self._stalled < self.stall_checks:
+            return False
+        self.timeouts += 1
+        self.device.reset()
+        # Resync: the reset typically completes the backlog synchronously.
+        self._completed = self.device.ops_completed
+        self._submitted = self.device.ops_submitted
+        self._outstanding = False
+        self._stalled = 0
+        return True
+
+    def __repr__(self) -> str:
+        return (f"<DeviceTimeoutMonitor {type(self.device).__name__} "
+                f"stalled={self._stalled}/{self.stall_checks} "
+                f"timeouts={self.timeouts}>")

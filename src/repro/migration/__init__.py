@@ -13,7 +13,9 @@ Two complementary implementations:
   final stop-and-copy of the residual set and vCPU/device state, and
   resume on the destination hypervisor. The migrated guest keeps
   running and exits with the correct result -- memory-identity is
-  testable, not assumed.
+  testable, not assumed. Transfers retry under a capped exponential
+  backoff and resume from the dirty bitmap when a link drops
+  (experiment E10); see :mod:`repro.faults`.
 """
 
 from repro.migration.model import (

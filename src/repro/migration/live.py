@@ -6,17 +6,31 @@ hook (VMM-mediated writes: PT updates, hypercall batches, device DMA),
 rounds interleave with actual guest execution, and the destination VM
 resumes from copied vCPU + device state. Transfer *timing* is modeled
 (cycles per byte); transfer *content* is exact.
+
+Failure handling: every page batch streams through a pending queue, so
+an injected link drop (``migration.xfer_drop``) leaves exactly the
+undelivered suffix queued. The migrator retries under a capped
+exponential backoff (:class:`~repro.faults.recovery.RetryPolicy`) and
+resumes from that suffix plus whatever the dirty bitmap has since
+accumulated -- never from scratch. Pages corrupted on the wire
+(``migration.page_corrupt``) are caught by a CRC check against the
+source page and resent. Only an exhausted retry budget escalates to
+:class:`~repro.util.errors.MigrationError`, chained (``raise ... from``)
+to the final :class:`~repro.util.errors.LinkError`.
 """
 
+import zlib
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.hypervisor import Hypervisor, RunOutcome
 from repro.core.modes import MMUVirtMode
 from repro.core.nested import NestedMMU
 from repro.core.shadow import ShadowMMU
 from repro.core.vm import GuestConfig, VirtualMachine
-from repro.util.errors import MigrationError
+from repro.faults.recovery import RetryPolicy
+from repro.util.errors import LinkError, MigrationError
 from repro.util.units import PAGE_SIZE
 
 #: Serialized vCPU + device state, charged to downtime.
@@ -36,6 +50,9 @@ class LiveMigrationResult:
     guest_instructions_during: int
     round_sizes: List[int] = field(default_factory=list)
     source_outcome: Optional[RunOutcome] = None
+    retries: int = 0
+    backoff_cycles: int = 0
+    corrupt_pages_detected: int = 0
 
 
 class LiveMigrator:
@@ -46,12 +63,16 @@ class LiveMigrator:
         source: Hypervisor,
         destination: Hypervisor,
         bytes_per_cycle: float = 1.0,
+        injector=None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if bytes_per_cycle <= 0:
             raise MigrationError("bytes_per_cycle must be positive")
         self.source = source
         self.destination = destination
         self.bytes_per_cycle = bytes_per_cycle
+        self.injector = injector
+        self.retry_policy = retry_policy or RetryPolicy()
 
     def migrate(
         self,
@@ -103,50 +124,53 @@ class LiveMigrator:
         round_sizes: List[int] = []
         instructions_before = vcpu.cpu.instret
         source_outcome = None
+        stats: Dict[str, int] = {
+            "retries": 0, "backoff_cycles": 0, "corrupt_pages": 0,
+        }
 
-        # Round 0: full copy while logging.
-        for gfn in all_gfns:
-            dst_vm.guest_mem.write_gfn(gfn, vm.guest_mem.read_gfn(gfn))
-        transfer_cycles += self._cycles(len(all_gfns) * PAGE_SIZE)
-        pages_copied += len(all_gfns)
-        round_sizes.append(len(all_gfns))
-        rounds = 1
+        try:
+            # Round 0: full copy while logging.
+            sent = self._send_with_retry(vm, dst_vm, deque(all_gfns), stats)
+            transfer_cycles += self._cycles(sent * PAGE_SIZE)
+            pages_copied += sent
+            round_sizes.append(sent)
+            rounds = 1
 
-        while rounds < max_rounds:
-            dirty.clear()
-            source_outcome = src.run(
-                vm, max_guest_instructions=quantum_instructions
-            )
-            if source_outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED):
-                break  # guest finished/idle: nothing more will dirty
-            if len(dirty) <= threshold_pages:
-                break
-            batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
-            for gfn in batch:
-                dst_vm.guest_mem.write_gfn(gfn, vm.guest_mem.read_gfn(gfn))
-            transfer_cycles += self._cycles(len(batch) * PAGE_SIZE)
-            pages_copied += len(batch)
-            round_sizes.append(len(batch))
-            protect(batch)
-            rounds += 1
+            while rounds < max_rounds:
+                dirty.clear()
+                source_outcome = src.run(
+                    vm, max_guest_instructions=quantum_instructions
+                )
+                if source_outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED):
+                    break  # guest finished/idle: nothing more will dirty
+                if len(dirty) <= threshold_pages:
+                    break
+                batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
+                sent = self._send_with_retry(vm, dst_vm, deque(batch), stats)
+                transfer_cycles += self._cycles(sent * PAGE_SIZE)
+                pages_copied += sent
+                round_sizes.append(sent)
+                protect(batch)
+                rounds += 1
 
-        # Stop-and-copy the residue plus machine state: the downtime.
-        final_batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
-        for gfn in final_batch:
-            dst_vm.guest_mem.write_gfn(gfn, vm.guest_mem.read_gfn(gfn))
-        downtime = self._cycles(len(final_batch) * PAGE_SIZE + CPU_STATE_BYTES)
-        transfer_cycles += downtime
-        pages_copied += len(final_batch)
-        round_sizes.append(len(final_batch))
+            # Stop-and-copy the residue plus machine state: the downtime.
+            final_batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
+            sent = self._send_with_retry(vm, dst_vm, deque(final_batch), stats)
+            downtime = self._cycles(sent * PAGE_SIZE + CPU_STATE_BYTES)
+            transfer_cycles += downtime
+            pages_copied += sent
+            round_sizes.append(sent)
 
-        self._copy_vcpu(vm, dst_vm)
-        self._copy_devices(vm, dst_vm)
-        dst_vm.pending_virqs = set(vm.pending_virqs)
-        dst_vm.ballooned_gfns = set(vm.ballooned_gfns)
-
-        # Detach logging from the (now dead) source.
-        src.dirty_handlers.pop(vm.name, None)
-        vm.guest_mem.write_hook = old_hook
+            self._copy_vcpu(vm, dst_vm)
+            self._copy_devices(vm, dst_vm)
+            dst_vm.pending_virqs = set(vm.pending_virqs)
+            dst_vm.ballooned_gfns = set(vm.ballooned_gfns)
+        finally:
+            # Detach logging from the source -- on success (the source
+            # is now dead) and on an abandoned migration alike, so the
+            # still-running source never leaks a dirty hook.
+            src.dirty_handlers.pop(vm.name, None)
+            vm.guest_mem.write_hook = old_hook
 
         return LiveMigrationResult(
             dest_vm=dst_vm,
@@ -158,12 +182,96 @@ class LiveMigrator:
             guest_instructions_during=vcpu.cpu.instret - instructions_before,
             round_sizes=round_sizes,
             source_outcome=source_outcome,
+            retries=stats["retries"],
+            backoff_cycles=stats["backoff_cycles"],
+            corrupt_pages_detected=stats["corrupt_pages"],
         )
 
     # -- internals ----------------------------------------------------------
 
     def _cycles(self, nbytes: int) -> int:
         return int(nbytes / self.bytes_per_cycle)
+
+    def _send_with_retry(
+        self,
+        vm: VirtualMachine,
+        dst_vm: VirtualMachine,
+        pending: Deque[int],
+        stats: Dict[str, int],
+    ) -> int:
+        """Stream ``pending`` to the destination, retrying on link drops.
+
+        ``pending`` is consumed in place, so each retry resumes from the
+        undelivered suffix (plus corrupt-page resends) -- pages already
+        on the destination are never re-sent. Returns the number of
+        pages that crossed the wire (resends included). Raises
+        :class:`MigrationError` chained to the last :class:`LinkError`
+        once :class:`RetryPolicy.max_retries` is exhausted.
+        """
+        sent_box = [0]  # survives a LinkError mid-batch: those pages landed
+        attempt = 0
+        while True:
+            try:
+                self._send_batch(vm, dst_vm, pending, stats, sent_box)
+                return sent_box[0]
+            except LinkError as err:
+                attempt += 1
+                if attempt > self.retry_policy.max_retries:
+                    raise MigrationError(
+                        f"migration of {vm.name} abandoned: transfer "
+                        f"dropped {attempt} times with {len(pending)} "
+                        f"pages still pending"
+                    ) from err
+                stats["retries"] += 1
+                stats["backoff_cycles"] += self.retry_policy.backoff_cycles(
+                    attempt
+                )
+
+    def _send_batch(
+        self,
+        vm: VirtualMachine,
+        dst_vm: VirtualMachine,
+        pending: Deque[int],
+        stats: Dict[str, int],
+        sent_box: List[int],
+    ) -> None:
+        """One attempt at draining ``pending``; raises LinkError on drop."""
+        while pending:
+            if self.injector is not None and (
+                self.injector.fires("migration.xfer_drop")
+            ):
+                raise LinkError(
+                    f"migration stream for {vm.name} dropped with "
+                    f"{len(pending)} pages pending"
+                )
+            gfn = pending[0]
+            intact = self._send_page(vm, dst_vm, gfn)
+            pending.popleft()
+            sent_box[0] += 1
+            if not intact:
+                # The per-page CRC caught wire corruption: queue a
+                # resend. The corrupt copy never reaches guest-visible
+                # state uncorrected.
+                stats["corrupt_pages"] += 1
+                pending.append(gfn)
+
+    def _send_page(
+        self, vm: VirtualMachine, dst_vm: VirtualMachine, gfn: int
+    ) -> bool:
+        """Copy one page; returns False when it was corrupted in flight."""
+        data = vm.guest_mem.read_gfn(gfn)
+        wire = data
+        if self.injector is not None and (
+            self.injector.fires("migration.page_corrupt")
+        ):
+            pos = int(
+                self.injector.uniform("migration.page_corrupt") * len(data)
+            ) % len(data)
+            corrupted = bytearray(data)
+            corrupted[pos] ^= 0xFF
+            wire = bytes(corrupted)
+        dst_vm.guest_mem.write_gfn(gfn, wire)
+        return zlib.crc32(wire) == zlib.crc32(data)
 
     def _copy_vcpu(self, src_vm: VirtualMachine, dst_vm: VirtualMachine) -> None:
         s, d = src_vm.vcpus[0], dst_vm.vcpus[0]

@@ -4,13 +4,25 @@ Live migration and cluster rebalancing move bytes over a
 :class:`NetworkLink` with a fixed bandwidth and propagation latency.
 Transfers serialize on the link (FIFO), which is what makes concurrent
 migrations slow each other down, as on a real management network.
+
+Fault model (driven by an optional
+:class:`~repro.faults.injector.FaultInjector`):
+
+* ``link.drop`` -- the transfer dies partway: time burns for the bytes
+  already serialized, nothing is delivered, :class:`LinkError` raised;
+* ``link.degrade`` -- the transfer runs at ``1/degrade_factor`` of the
+  link bandwidth (congestion, a flapping NIC);
+* ``link.partition`` -- the link goes down for ``partition_ticks``;
+  transfers attempted while partitioned fail immediately. ``heal()``
+  clears a partition early.
 """
 
 from dataclasses import dataclass
-from typing import Generator
+from typing import Generator, Optional
 
 from repro.sim.kernel import SEC, Simulator, Timeout
 from repro.sim.resources import Resource
+from repro.util.errors import ConfigError, LinkError
 
 
 @dataclass(frozen=True)
@@ -35,38 +47,102 @@ class NetworkLink:
         bandwidth_bytes_per_sec: float,
         latency: int = 0,
         name: str = "link",
+        injector=None,
+        degrade_factor: float = 4.0,
+        partition_ticks: int = 50 * 1000,
     ):
         if bandwidth_bytes_per_sec <= 0:
-            raise ValueError("bandwidth must be positive")
+            raise ConfigError("bandwidth must be positive")
         if latency < 0:
-            raise ValueError("latency must be non-negative")
+            raise ConfigError("latency must be non-negative")
+        if degrade_factor < 1.0:
+            raise ConfigError("degrade_factor must be >= 1")
+        if partition_ticks < 0:
+            raise ConfigError("partition_ticks must be non-negative")
         self.sim = sim
         self.bandwidth = bandwidth_bytes_per_sec
         self.latency = latency
         self.name = name
+        self.injector = injector
+        self.degrade_factor = degrade_factor
+        self.partition_ticks = partition_ticks
         self._channel = Resource(sim, capacity=1)
+        self._partitioned_until = 0
         self.bytes_sent = 0
         self.transfers = 0
+        self.drops = 0
+        self.degraded_transfers = 0
+        self.partitions = 0
 
     def transmission_time(self, nbytes: int) -> int:
         """Serialization + propagation time for ``nbytes``, in ticks."""
         if nbytes < 0:
-            raise ValueError("negative byte count")
+            raise ConfigError("negative byte count")
         serialization = int(nbytes / self.bandwidth * SEC)
         return serialization + self.latency
+
+    # -- partition state -----------------------------------------------------
+
+    @property
+    def partitioned(self) -> bool:
+        return self.sim.now < self._partitioned_until
+
+    def partition(self, duration: Optional[int] = None) -> None:
+        """Take the link down for ``duration`` ticks (default configured)."""
+        if duration is None:
+            duration = self.partition_ticks
+        if duration < 0:
+            raise ConfigError("partition duration must be non-negative")
+        self.partitions += 1
+        self._partitioned_until = max(
+            self._partitioned_until, self.sim.now + duration
+        )
+
+    def heal(self) -> None:
+        """Clear any active partition immediately."""
+        self._partitioned_until = 0
+
+    # -- transfers -----------------------------------------------------------
 
     def transfer(self, nbytes: int) -> Generator:
         """Generator to ``yield from``; completes when bytes are delivered.
 
         Returns a :class:`TransferResult` (via the generator's return
-        value, i.e. ``result = yield from link.transfer(n)``).
+        value, i.e. ``result = yield from link.transfer(n)``). Raises
+        :class:`~repro.util.errors.LinkError` when an injected fault
+        kills the transfer; simulated time consumed up to the failure
+        point is kept (retries pay for what burned).
         """
         if nbytes < 0:
-            raise ValueError("negative byte count")
+            raise ConfigError("negative byte count")
         yield from self._channel.acquire()
         started = self.sim.now
         try:
+            if self.injector is not None and self.injector.fires("link.partition"):
+                self.partition()
+            if self.partitioned:
+                self.drops += 1
+                raise LinkError(
+                    f"link {self.name} partitioned until "
+                    f"t={self._partitioned_until}"
+                )
             delay = self.transmission_time(nbytes)
+            if self.injector is not None and self.injector.fires("link.degrade"):
+                self.degraded_transfers += 1
+                delay = self.latency + int(
+                    (delay - self.latency) * self.degrade_factor
+                )
+            if self.injector is not None and self.injector.fires("link.drop"):
+                # Carrier lost partway through serialization: a
+                # deterministic fraction of the time burns, no delivery.
+                lost_after = int(delay * (0.25 + 0.5 * self.injector.uniform("link.drop")))
+                if lost_after > 0:
+                    yield Timeout(lost_after)
+                self.drops += 1
+                raise LinkError(
+                    f"link {self.name} dropped transfer of {nbytes} bytes "
+                    f"after {lost_after} ticks"
+                )
             if delay > 0:
                 yield Timeout(delay)
         finally:

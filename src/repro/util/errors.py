@@ -37,3 +37,22 @@ class MigrationError(ReproError):
 
 class SchedulerError(ReproError):
     """Scheduler invariant violation or invalid scheduling parameter."""
+
+
+class LinkError(ReproError):
+    """A network link dropped, stalled, or partitioned mid-transfer.
+
+    Transient by design: callers with a retry budget (live migration,
+    the load balancer) catch this and back off; it only escalates to
+    :class:`MigrationError` (``raise ... from``) when the budget is
+    exhausted.
+    """
+
+
+class FaultError(ReproError):
+    """An injected fault fired (raised by the fault-injection harness).
+
+    Only the fault-injection framework raises this directly; subsystems
+    that surface an injected failure to their callers re-wrap it in
+    their own error class with ``raise ... from``.
+    """

@@ -33,8 +33,15 @@ class DeterministicRNG:
 
         Forking (rather than sharing) keeps component streams decoupled:
         adding a draw in one subsystem does not perturb another's stream.
+        The (state, salt) pair is passed through the SplitMix64 finalizer
+        so that nearby states or salts -- e.g. plan seeds 42 and 43 --
+        still yield unrelated child streams.
         """
-        return DeterministicRNG((self._state ^ (salt * _MULT)) & _MASK64 | 1)
+        z = (self._state ^ ((salt * _MULT) & _MASK64)) & _MASK64
+        z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+        z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+        z ^= z >> 31
+        return DeterministicRNG(z)
 
     def next_u64(self) -> int:
         """Return the next raw 64-bit value."""

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sim.kernel import SEC, Simulator
 from repro.sim.link import NetworkLink
+from repro.util.errors import ConfigError
 from repro.util.units import MIB
 
 
@@ -58,11 +59,13 @@ def test_zero_byte_transfer_with_latency():
 
 
 def test_invalid_parameters():
+    # ConfigError, not bare ValueError: the "one catchable base class"
+    # contract of repro.util.errors.
     sim = Simulator()
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         NetworkLink(sim, bandwidth_bytes_per_sec=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         NetworkLink(sim, bandwidth_bytes_per_sec=1, latency=-1)
     link = NetworkLink(sim, bandwidth_bytes_per_sec=1)
-    with pytest.raises(ValueError):
+    with pytest.raises(ConfigError):
         link.transmission_time(-5)
