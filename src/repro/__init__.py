@@ -19,6 +19,8 @@ Subpackages (see README.md for the architecture overview):
   host failover.
 * :mod:`repro.faults` -- deterministic fault injection, watchdogs, and
   recovery (micro-reboot, retry/backoff).
+* :mod:`repro.obs` -- the shared observability substrate: metrics
+  registry, dual-timebase clocks, span tracing, run manifests.
 * :mod:`repro.bench` -- experiment runners (E1-E10).
 
 Command line: ``python -m repro list | run <exp> | boot``.
@@ -54,6 +56,15 @@ from repro.faults import (
     RetryPolicy,
 )
 from repro.migration import LiveMigrator, LiveMigrationResult
+from repro.obs import (
+    CycleClock,
+    ManualClock,
+    MetricsRegistry,
+    MetricsScope,
+    SimClock,
+    Tracer,
+    build_manifest,
+)
 
 __version__ = "1.1.0"
 
@@ -89,4 +100,12 @@ __all__ = [
     "DeviceTimeoutMonitor",
     "MicroRebooter",
     "RetryPolicy",
+    # observability
+    "MetricsRegistry",
+    "MetricsScope",
+    "ManualClock",
+    "CycleClock",
+    "SimClock",
+    "Tracer",
+    "build_manifest",
 ]

@@ -21,12 +21,26 @@ from repro.guest import (
     build_kernel,
 )
 from repro.mem.costs import CostModel
+from repro.obs.manifest import build_manifest, register_baseline
+from repro.obs.registry import MetricsRegistry
 from repro.util.errors import GuestError
 from repro.util.table import Table
 from repro.util.units import MIB
 
 GUEST_MEMORY = 16 * MIB
 HOST_MEMORY = 64 * MIB
+
+
+def new_run_registry() -> MetricsRegistry:
+    """A fresh per-run registry pre-seeded with the baseline counters.
+
+    Every experiment that wants a metrics manifest creates one of these,
+    threads it through its hypervisors/migrators/hosts, and stores it on
+    its :class:`ExperimentResult` so the CLI can emit the manifest.
+    """
+    registry = MetricsRegistry()
+    register_baseline(registry)
+    return registry
 
 #: (label, virt mode, mmu mode, pv kernel) -- the E1 mode matrix.
 MODE_MATRIX = [
@@ -69,9 +83,20 @@ class ExperimentResult:
     experiment: str
     table: Table
     raw: Dict[str, Any] = field(default_factory=dict)
+    #: The run's shared registry, when the experiment threads one.
+    metrics: Optional[MetricsRegistry] = None
 
     def render(self) -> str:
         return self.table.render()
+
+    def manifest(self, extra: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """The run's metrics as a JSON-ready manifest.
+
+        Experiments that did not thread a registry still produce a
+        valid (baseline-only) manifest, so ``--json`` works uniformly.
+        """
+        registry = self.metrics if self.metrics is not None else new_run_registry()
+        return build_manifest(registry, experiment=self.experiment, extra=extra)
 
 
 def run_guest_workload(
@@ -85,6 +110,7 @@ def run_guest_workload(
     max_instructions: int = 30_000_000,
     bt_cache: bool = True,
     bt_chaining: bool = True,
+    registry: Optional[MetricsRegistry] = None,
 ) -> ModeMetrics:
     """Boot NanoOS with ``workload`` in the given mode; return metrics."""
     kernel = build_kernel(
@@ -105,7 +131,7 @@ def run_guest_workload(
             exit_breakdown={},
         )
 
-    hv = Hypervisor(memory_bytes=HOST_MEMORY, costs=costs)
+    hv = Hypervisor(memory_bytes=HOST_MEMORY, costs=costs, registry=registry)
     vm = hv.create_vm(
         GuestConfig(
             name=label,

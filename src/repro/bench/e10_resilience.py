@@ -22,7 +22,12 @@ C. **Host crash and failover.** One host of a packed fleet dies; every
 
 from typing import Dict
 
-from repro.bench.common import ExperimentResult, GUEST_MEMORY, HOST_MEMORY
+from repro.bench.common import (
+    ExperimentResult,
+    GUEST_MEMORY,
+    HOST_MEMORY,
+    new_run_registry,
+)
 from repro.cluster import Host, HostSpec, VMSpec, failover, first_fit
 from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
 from repro.core.hypervisor import RunOutcome
@@ -68,9 +73,9 @@ def _migration_plan() -> FaultPlan:
     ])
 
 
-def _migrate_once(pages: int, passes: int, injector):
-    src = Hypervisor(memory_bytes=HOST_MEMORY)
-    dst = Hypervisor(memory_bytes=HOST_MEMORY)
+def _migrate_once(pages: int, passes: int, injector, registry=None):
+    src = Hypervisor(memory_bytes=HOST_MEMORY, registry=registry)
+    dst = Hypervisor(memory_bytes=HOST_MEMORY, registry=registry)
     vm = _boot_memtouch(src, "e10-mig", pages, passes)
     src.run(vm, max_guest_instructions=100_000)  # get mid-workload
     migrator = LiveMigrator(src, dst, bytes_per_cycle=4.0, injector=injector,
@@ -82,14 +87,16 @@ def _migrate_once(pages: int, passes: int, injector):
     return result, outcome, diag
 
 
-def _migration_scenario(pages: int, passes: int) -> Dict[str, object]:
+def _migration_scenario(pages: int, passes: int,
+                        registry=None) -> Dict[str, object]:
     expected = expected_memtouch(pages, passes)
-    baseline, b_out, b_diag = _migrate_once(pages, passes, None)
+    faults_scope = registry.scope("faults") if registry is not None else None
+    baseline, b_out, b_diag = _migrate_once(pages, passes, None, registry)
 
-    inj = FaultInjector(_migration_plan())
-    faulted, f_out, f_diag = _migrate_once(pages, passes, inj)
-    replay = FaultInjector(_migration_plan())
-    _migrate_once(pages, passes, replay)
+    inj = FaultInjector(_migration_plan(), metrics=faults_scope)
+    faulted, f_out, f_diag = _migrate_once(pages, passes, inj, registry)
+    replay = FaultInjector(_migration_plan(), metrics=faults_scope)
+    _migrate_once(pages, passes, replay, registry)
 
     correct = (
         b_out is RunOutcome.SHUTDOWN and b_diag.user_result == expected
@@ -117,21 +124,24 @@ def _migration_scenario(pages: int, passes: int) -> Dict[str, object]:
     }
 
 
-def _watchdog_scenario(pages: int, passes: int) -> Dict[str, object]:
-    hv = Hypervisor(memory_bytes=HOST_MEMORY)
+def _watchdog_scenario(pages: int, passes: int,
+                       registry=None) -> Dict[str, object]:
+    hv = Hypervisor(memory_bytes=HOST_MEMORY, registry=registry)
     vm = _boot_memtouch(hv, "e10-hang", pages, passes)
     hv.injector = FaultInjector(FaultPlan(seed=E10_SEED, specs=[
         # The first run consumes 5 pump opportunities; the stall lands
         # a few pumps into the watched run.
         FaultSpec("vcpu.stall", rate=1.0, after=8, count=1),
-    ]))
+    ]), metrics=hv.registry.scope("faults"))
     rebooter = MicroRebooter(hv)
 
     hv.run(vm, max_guest_instructions=20_000)  # healthy progress first
     rebooter.checkpoint(vm)
     instret_before_hang = vm.vcpus[0].cpu.instret
 
-    watchdog = GuestProgressWatchdog(idle_pump_limit=6)
+    watchdog = GuestProgressWatchdog(
+        idle_pump_limit=6, metrics=hv.registry.scope("faults.watchdog")
+    )
     outcome = hv.run(vm, max_guest_instructions=80_000_000, watchdog=watchdog)
     hung_detected = outcome is RunOutcome.HUNG
 
@@ -156,10 +166,17 @@ def _watchdog_scenario(pages: int, passes: int) -> Dict[str, object]:
     }
 
 
-def _failover_scenario(n_hosts: int = 6, n_vms: int = 12) -> Dict[str, object]:
+def _failover_scenario(n_hosts: int = 6, n_vms: int = 12,
+                       registry=None) -> Dict[str, object]:
     spec = HostSpec(name="host", cores=8, cpu_capacity=8.0,
                     memory_bytes=16 * GIB)
-    hosts = [Host(spec, i) for i in range(n_hosts)]
+    cluster = registry.scope("cluster") if registry is not None else None
+    hosts = [
+        Host(spec, i,
+             metrics=(cluster.scope(f"host.{spec.name}-{i}")
+                      if cluster is not None else None))
+        for i in range(n_hosts)
+    ]
     vms = [VMSpec(name=f"vm{i:02d}", cpu_demand=1.0, memory_bytes=2 * GIB)
            for i in range(n_vms)]
     placement = first_fit(vms, hosts)
@@ -168,7 +185,7 @@ def _failover_scenario(n_hosts: int = 6, n_vms: int = 12) -> Dict[str, object]:
         # after=0, count=1: the first host polled dies -- the one
         # first-fit packed fullest.
         FaultSpec("host.crash", rate=1.0, after=0, count=1),
-    ]))
+    ]), metrics=registry.scope("faults") if registry is not None else None)
     crashed = [h.name for h in hosts if h.maybe_crash(injector)]
     stranded = sum(len(h.vms) for h in hosts if not h.alive)
     report = failover(placement)
@@ -187,9 +204,10 @@ def _failover_scenario(n_hosts: int = 6, n_vms: int = 12) -> Dict[str, object]:
 
 def run_e10(quick: bool = False) -> ExperimentResult:
     pages, passes = (12, 400) if quick else (40, 2000)
-    migration = _migration_scenario(pages, passes)
-    watchdog = _watchdog_scenario(pages, passes)
-    fail = _failover_scenario()
+    registry = new_run_registry()
+    migration = _migration_scenario(pages, passes, registry)
+    watchdog = _watchdog_scenario(pages, passes, registry)
+    fail = _failover_scenario(registry=registry)
 
     table = Table(
         "E10: fault injection / detection / recovery "
@@ -222,4 +240,5 @@ def run_e10(quick: bool = False) -> ExperimentResult:
         "E10",
         table,
         raw={"migration": migration, "watchdog": watchdog, "failover": fail},
+        metrics=registry,
     )

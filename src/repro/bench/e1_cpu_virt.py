@@ -22,7 +22,13 @@ Expected shape (Adams & Agesen '06, Barham '03):
 
 from typing import Dict
 
-from repro.bench.common import ExperimentResult, MODE_MATRIX, ModeMetrics, run_guest_workload
+from repro.bench.common import (
+    ExperimentResult,
+    MODE_MATRIX,
+    ModeMetrics,
+    new_run_registry,
+    run_guest_workload,
+)
 from repro.guest import workloads
 from repro.util.stats import geomean
 from repro.util.table import Table
@@ -32,10 +38,11 @@ SYSCALLS = 400
 
 def run_e1(syscalls: int = SYSCALLS) -> ExperimentResult:
     workload_builder = lambda: workloads.syscall_storm(syscalls)  # noqa: E731
+    registry = new_run_registry()
     rows: Dict[str, ModeMetrics] = {}
     for label, vmode, mmode, pv in MODE_MATRIX:
         rows[label] = run_guest_workload(
-            label, workload_builder(), vmode, mmode, pv
+            label, workload_builder(), vmode, mmode, pv, registry=registry
         )
 
     native_cycles = rows["native"].total_cycles
@@ -57,7 +64,8 @@ def run_e1(syscalls: int = SYSCALLS) -> ExperimentResult:
             m.total_cycles / native_cycles,
             m.correct,
         )
-    return ExperimentResult("E1", table, raw={"modes": rows, "syscalls": syscalls})
+    return ExperimentResult("E1", table, raw={"modes": rows, "syscalls": syscalls},
+                            metrics=registry)
 
 
 def run_e1_workloads() -> ExperimentResult:
@@ -67,6 +75,7 @@ def run_e1_workloads() -> ExperimentResult:
         "memory": lambda: workloads.memtouch(48, 4),
         "syscall": lambda: workloads.syscall_storm(250),
     }
+    registry = new_run_registry()
     overheads: Dict[str, Dict[str, float]] = {}
     for wname, builder in classes.items():
         native = run_guest_workload(f"{wname}-native", builder(), None, None,
@@ -76,7 +85,7 @@ def run_e1_workloads() -> ExperimentResult:
             if label == "native":
                 continue
             metrics = run_guest_workload(f"{wname}-{label}", builder(),
-                                         vmode, mmode, pv)
+                                         vmode, mmode, pv, registry=registry)
             per_mode[label] = metrics.total_cycles / native.total_cycles
         overheads[wname] = per_mode
 
@@ -91,5 +100,6 @@ def run_e1_workloads() -> ExperimentResult:
         summary[label] = geomean(values)
         table.add_row(label, *values, summary[label])
     return ExperimentResult(
-        "E1b", table, raw={"overheads": overheads, "geomean": summary}
+        "E1b", table, raw={"overheads": overheads, "geomean": summary},
+        metrics=registry,
     )

@@ -20,7 +20,7 @@ from repro.sched import (
     VCpuTask,
     run_schedule,
 )
-from repro.bench.common import ExperimentResult
+from repro.bench.common import ExperimentResult, new_run_registry
 from repro.sim.kernel import MSEC, SEC
 from repro.util.table import Table
 
@@ -34,6 +34,8 @@ def _hogs(weights):
 
 def run_e5(duration_us: int = 10 * SEC) -> ExperimentResult:
     weights = [1, 2, 4]
+    registry = new_run_registry()
+    sched_scope = registry.scope("sched")
     raw: Dict[str, object] = {}
     table = Table(
         "E5a: achieved CPU share vs weight (1:2:4, one core)",
@@ -44,7 +46,8 @@ def run_e5(duration_us: int = 10 * SEC) -> ExperimentResult:
         ("stride", StrideScheduler),
         ("round-robin", RoundRobinScheduler),
     ):
-        stats = run_schedule(factory(), _hogs(weights), duration_us)
+        stats = run_schedule(factory(), _hogs(weights), duration_us,
+                             metrics=sched_scope)
         raw[name] = stats
         table.add_row(
             name,
@@ -68,12 +71,13 @@ def run_e5(duration_us: int = 10 * SEC) -> ExperimentResult:
             )
         ]
         stats = run_schedule(
-            CreditScheduler(boost=boost), tasks, duration_us // 2
+            CreditScheduler(boost=boost), tasks, duration_us // 2,
+            metrics=sched_scope,
         )
         lat = stats.wake_latency["io"]
         raw[f"boost={boost}"] = lat
         latency_table.add_row(boost, lat.p50, lat.p95, lat.mean, lat.count)
 
-    result = ExperimentResult("E5", table, raw=raw)
+    result = ExperimentResult("E5", table, raw=raw, metrics=registry)
     result.raw["latency_table"] = latency_table
     return result

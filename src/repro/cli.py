@@ -10,6 +10,7 @@ Usage::
 """
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -85,6 +86,10 @@ def _cmd_run(args) -> int:
             return 2
         quick = getattr(args, "quick", False) and key in QUICK_AWARE
         result = fn(quick=True) if quick else fn()
+        if getattr(args, "json", False):
+            # Machine-readable: one metrics manifest per experiment.
+            print(json.dumps(result.manifest(), indent=2))
+            continue
         print(result.render())
         for extra in ("latency_table", "fleet_table"):
             if extra in result.raw:
@@ -142,6 +147,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                        help="e1..e10, e6f/e7f (functional), or 'all'")
     run_p.add_argument("--quick", action="store_true",
                        help="smaller, CI-friendly variant where supported")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the run's metrics manifest as JSON "
+                            "instead of tables")
 
     boot_p = sub.add_parser("boot", help="boot NanoOS with a workload")
     boot_p.add_argument("--mode", default="hw-nested")

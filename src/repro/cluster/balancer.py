@@ -13,6 +13,8 @@ from typing import List, Optional, Tuple
 
 from repro.cluster.host import Host, Placement, VMSpec
 from repro.migration.model import MigrationConfig, simulate_precopy
+from repro.obs.clock import SimClock
+from repro.obs.registry import MetricsRegistry
 from repro.sim.kernel import Simulator
 from repro.sim.link import NetworkLink
 from repro.util.errors import ConfigError
@@ -53,6 +55,7 @@ class LoadBalancer:
         low_watermark: float = 0.70,
         max_migrations: int = 32,
         dirty_rate_pps: float = 2000.0,
+        metrics=None,
     ):
         if not 0 < low_watermark <= high_watermark <= 1.5:
             raise ConfigError("watermarks must satisfy 0 < low <= high")
@@ -61,6 +64,10 @@ class LoadBalancer:
         self.low = low_watermark
         self.max_migrations = max_migrations
         self.dirty_rate_pps = dirty_rate_pps
+        #: ``cluster.balancer.*``: passes, migrations, time moved.
+        self.metrics = (metrics if metrics is not None else
+                        MetricsRegistry(clock=SimClock(link.sim)).scope(
+                            "cluster.balancer"))
 
     def rebalance(self, placement: Placement) -> BalanceReport:
         """Migrate VMs until no host exceeds the high watermark (or the
@@ -78,6 +85,11 @@ class LoadBalancer:
             report.total_migration_time_us += result.total_time_us
             report.total_downtime_us += result.downtime_us
         report.imbalance_after = _imbalance(placement)
+        m = self.metrics
+        m.counter("passes").inc()
+        m.counter("migrations").inc(report.migration_count)
+        m.counter("migration_time_us").inc(report.total_migration_time_us)
+        m.counter("downtime_us").inc(report.total_downtime_us)
         return report
 
     # -- internals -------------------------------------------------------
@@ -116,4 +128,4 @@ class LoadBalancer:
             vm_pages=max(1, vm.memory_bytes // PAGE_SIZE),
             dirty_rate_pps=self.dirty_rate_pps,
         )
-        return simulate_precopy(cfg, self.link)
+        return simulate_precopy(cfg, self.link, metrics=self.metrics)

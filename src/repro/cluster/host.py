@@ -3,6 +3,7 @@
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import ConfigError
 from repro.util.units import GIB, MIB
 
@@ -48,11 +49,18 @@ class VMSpec:
 class Host:
     """A host instance holding placed VMs."""
 
-    def __init__(self, spec: HostSpec, index: int):
+    placements = counter_attr()
+    crashes = counter_attr()
+
+    def __init__(self, spec: HostSpec, index: int, metrics=None):
         spec.validate()
         self.spec = spec
         self.index = index
         self.name = f"{spec.name}-{index}"
+        #: ``cluster.host.<name>.*``; pass a shared scope to aggregate a
+        #: whole cluster into one registry.
+        self.metrics = (metrics if metrics is not None else
+                        MetricsRegistry().scope(f"cluster.host.{self.name}"))
         self.vms: Dict[str, VMSpec] = {}
         self.alive = True
 
@@ -66,6 +74,7 @@ class Host:
         survivors.
         """
         self.alive = False
+        self.crashes += 1
 
     def maybe_crash(self, injector) -> bool:
         """Evaluate the ``host.crash`` fault site; True if this host died."""
@@ -104,6 +113,7 @@ class Host:
         if not self.fits(vm):
             raise ConfigError(f"VM {vm.name} does not fit on {self.name}")
         self.vms[vm.name] = vm
+        self.placements += 1
 
     def remove(self, name: str) -> VMSpec:
         try:

@@ -30,7 +30,7 @@ from repro.core.vm import GuestConfig, GuestMemory, VirtualMachine
 from repro.cpu.exits import ExitReason, VMExit
 from repro.cpu.interp import CPUCore, StopReason, TrapInfo
 from repro.cpu.isa import CSR, Cause, MODE_KERNEL, Op
-from repro.devices.block import BlockDevice
+from repro.devices.block import BLOCK_BASE, BlockDevice
 from repro.devices.bus import PortBus
 from repro.devices.console import CONSOLE_BASE, ConsoleDevice
 from repro.devices.irq import (
@@ -51,9 +51,9 @@ from repro.devices.virtio import (
     VirtioBlockDevice,
     VirtioNetDevice,
 )
-from repro.devices.block import BLOCK_BASE
 from repro.mem.costs import CostModel
 from repro.mem.physmem import FrameAllocator, PhysicalMemory
+from repro.obs.registry import MetricsRegistry
 from repro.util.errors import ConfigError, GuestError, MemoryError_
 from repro.util.units import MIB, PAGE_SHIFT, bytes_to_pages
 
@@ -111,12 +111,18 @@ class Hypervisor:
         memory_bytes: int = 128 * MIB,
         costs: Optional[CostModel] = None,
         tlb_entries: int = 64,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.costs = costs or CostModel()
         self.costs.validate()
         self.physmem = PhysicalMemory(memory_bytes)
         self.allocator = FrameAllocator(self.physmem, reserved_frames=16)
         self.tlb_entries = tlb_entries
+        #: The run's metrics registry; every VM gets a ``vm.<name>``
+        #: scope in it, and hypervisor-level counters live under
+        #: ``core.*`` / ``overcommit.*``. A private registry is made
+        #: when the caller (tests, ad-hoc scripts) does not share one.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.vms: Dict[str, VirtualMachine] = {}
         #: Per-VM dirty-page callbacks (registered by live migration):
         #: called with (vm, gfn) on each dirty-log exit.
@@ -144,7 +150,14 @@ class Hypervisor:
             raise ConfigError(f"duplicate VM name {config.name!r}")
         pages = bytes_to_pages(config.memory_bytes)
         guest_mem = GuestMemory(self.physmem, pages)
-        vm = VirtualMachine(config, guest_mem)
+        # A VM recreated under the same name (micro-reboot, snapshot
+        # restore) starts its telemetry from zero, exactly as the old
+        # per-VM stat structs did.
+        self.registry.reset(f"vm.{config.name}.")
+        vm = VirtualMachine(
+            config, guest_mem, metrics=self.registry.scope(f"vm.{config.name}")
+        )
+        self.registry.counter("core.vms_created").inc()
 
         if config.prealloc:
             for gfn in range(pages):
@@ -213,11 +226,14 @@ class Hypervisor:
         vm.pic = InterruptController(sink=vm)
         vm.port_bus.register(vm.pic, PIC_BASE, 1)
 
+        dev_scope = vm.metrics.scope("dev")
+
         console = ConsoleDevice()
         vm.port_bus.register(console, CONSOLE_BASE, 2)
         vm.devices["console"] = console
 
-        timer = TimerDevice(vm.pic.line(IRQ_TIMER_LINE))
+        timer = TimerDevice(vm.pic.line(IRQ_TIMER_LINE),
+                            metrics=dev_scope.scope("timer"))
         vm.port_bus.register(timer, TIMER_BASE, 3)
         vm.devices["timer"] = timer
 
@@ -227,19 +243,24 @@ class Hypervisor:
 
         mem = vm.guest_mem
         if vm.config.with_emulated_io:
-            block = BlockDevice(mem, vm.pic.line(IRQ_BLOCK_LINE))
+            block = BlockDevice(mem, vm.pic.line(IRQ_BLOCK_LINE),
+                                metrics=dev_scope.scope("block"))
             vm.port_bus.register(block, BLOCK_BASE, 6)
             vm.devices["block"] = block
-            net = NetDevice(mem, vm.pic.line(IRQ_NET_LINE))
+            net = NetDevice(mem, vm.pic.line(IRQ_NET_LINE),
+                            metrics=dev_scope.scope("net"))
             vm.port_bus.register(net, NET_BASE, 7)
             vm.devices["net"] = net
         if vm.config.with_virtio:
-            vblock = VirtioBlockDevice(mem, vm.pic.line(IRQ_VIRTIO_BLK_LINE))
+            vblock = VirtioBlockDevice(mem, vm.pic.line(IRQ_VIRTIO_BLK_LINE),
+                                       metrics=dev_scope.scope("virtio_blk"))
             vm.port_bus.register(vblock, VIRTIO_BLK_BASE, 6)
             vm.devices["virtio_blk"] = vblock
-            vnet = VirtioNetDevice(mem, vm.pic.line(IRQ_VIRTIO_NET_LINE))
+            vnet = VirtioNetDevice(mem, vm.pic.line(IRQ_VIRTIO_NET_LINE),
+                                   metrics=dev_scope.scope("virtio_net"))
             vm.port_bus.register(vnet, VIRTIO_NET_BASE, 14)
             vm.devices["virtio_net"] = vnet
+        self.registry.counter("devices.attached").inc(len(vm.devices))
 
     def destroy_vm(self, vm: VirtualMachine) -> None:
         """Tear a VM down and return every host frame it held."""
@@ -632,6 +653,8 @@ class Hypervisor:
         hfn = vm.guest_mem.unmap_page(gfn)
         self.allocator.free(hfn)
         vm.ballooned_gfns.add(gfn)
+        self.registry.counter("overcommit.balloon.inflations").inc()
+        self.registry.counter("overcommit.operations").inc()
         vcpu.cpu.write_reg(1, 0)
 
     def _balloon_take(self, vm: VirtualMachine, vcpu: VCPU, gfn: int) -> None:
@@ -644,4 +667,6 @@ class Hypervisor:
         mmu = vcpu.cpu.mmu
         if isinstance(mmu, NestedMMU):
             mmu.ept_map(gfn, hfn)
+        self.registry.counter("overcommit.balloon.deflations").inc()
+        self.registry.counter("overcommit.operations").inc()
         vcpu.cpu.write_reg(1, 0)

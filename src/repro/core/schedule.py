@@ -7,6 +7,12 @@ by the hypervisor. Guests genuinely interleave -- device state, exits,
 and memory behaviour all progress a quantum at a time -- so
 consolidation effects (weighted progress, idle VMs yielding their
 share) are observable on real workloads, not task models.
+
+With ``watchdog_limit`` set, every entry carries its own
+:class:`~repro.faults.watchdog.GuestProgressWatchdog`: a VM whose vCPU
+stalls is flagged ``HUNG`` and retired from the rotation after one
+detection window, so its neighbours keep their shares instead of the
+whole run spinning against a dead guest.
 """
 
 from dataclasses import dataclass, field
@@ -14,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.core.hypervisor import Hypervisor, RunOutcome
 from repro.core.vm import VirtualMachine
+from repro.faults.watchdog import GuestProgressWatchdog
 from repro.util.errors import SchedulerError
 
 
@@ -38,9 +45,10 @@ class ScheduleReport:
 
 class _Entry:
     __slots__ = ("vm", "weight", "credits", "done", "outcome",
-                 "start_cycles", "start_instret")
+                 "start_cycles", "start_instret", "watchdog")
 
-    def __init__(self, vm: VirtualMachine, weight: int):
+    def __init__(self, vm: VirtualMachine, weight: int,
+                 watchdog: Optional[GuestProgressWatchdog] = None):
         self.vm = vm
         self.weight = weight
         self.credits = 0.0
@@ -48,6 +56,7 @@ class _Entry:
         self.outcome: Optional[RunOutcome] = None
         self.start_cycles = self._time(vm)
         self.start_instret = vm.vcpus[0].cpu.instret
+        self.watchdog = watchdog
 
     @staticmethod
     def _time(vm: VirtualMachine) -> int:
@@ -67,11 +76,16 @@ class VMScheduler:
     work-conserving behaviour weighted schedulers promise).
     """
 
-    def __init__(self, hypervisor: Hypervisor, quantum_cycles: int = 50_000):
+    def __init__(self, hypervisor: Hypervisor, quantum_cycles: int = 50_000,
+                 watchdog_limit: Optional[int] = None):
         if quantum_cycles <= 0:
             raise SchedulerError("quantum must be positive")
+        if watchdog_limit is not None and watchdog_limit <= 0:
+            raise SchedulerError("watchdog_limit must be positive")
         self.hv = hypervisor
         self.quantum = quantum_cycles
+        self.watchdog_limit = watchdog_limit
+        self.metrics = hypervisor.registry.scope("sched.vmsched")
         self._entries: List[_Entry] = []
 
     def add(self, vm: VirtualMachine, weight: int = 256) -> None:
@@ -79,7 +93,15 @@ class VMScheduler:
             raise SchedulerError("weight must be positive")
         if any(e.vm is vm for e in self._entries):
             raise SchedulerError(f"VM {vm.name} already scheduled")
-        self._entries.append(_Entry(vm, weight))
+        watchdog = None
+        if self.watchdog_limit is not None:
+            # Per-entry watchdog state: one hung VM cannot starve or
+            # confuse hang detection for its neighbours.
+            watchdog = GuestProgressWatchdog(
+                self.watchdog_limit,
+                metrics=self.hv.registry.scope(f"faults.watchdog.{vm.name}"),
+            )
+        self._entries.append(_Entry(vm, weight, watchdog))
 
     def run(
         self,
@@ -100,17 +122,25 @@ class VMScheduler:
                 entry.credits += self.quantum * entry.weight / total_weight
             entry = max(live, key=lambda e: e.credits)
             before = entry.consumed()
-            outcome = self.hv.run(entry.vm, max_cycles=self.quantum)
+            outcome = self.hv.run(entry.vm, max_cycles=self.quantum,
+                                  watchdog=entry.watchdog)
             used = entry.consumed() - before
             entry.credits -= used
             spent += used
             report.dispatches[entry.vm.name] = (
                 report.dispatches.get(entry.vm.name, 0) + 1
             )
+            self.hv.registry.counter("sched.dispatches").inc()
             if outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED):
                 entry.done = True
                 entry.outcome = outcome
                 report.finish_order.append(entry.vm.name)
+            elif outcome is RunOutcome.HUNG:
+                # Flagged per-entry: the dead guest leaves the rotation
+                # (for recovery elsewhere) and everyone else runs on.
+                entry.done = True
+                entry.outcome = outcome
+                self.metrics.counter("hangs").inc()
         for entry in self._entries:
             name = entry.vm.name
             report.cycles[name] = entry.consumed()
@@ -118,4 +148,13 @@ class VMScheduler:
                 entry.vm.vcpus[0].cpu.instret - entry.start_instret
             )
             report.outcomes[name] = entry.outcome or RunOutcome.CYCLE_LIMIT
+            # Mirror the report into the registry so manifests see the
+            # same numbers the ScheduleReport view returns.
+            self.metrics.counter(f"cycles.{name}").value = report.cycles[name]
+            self.metrics.counter(f"instructions.{name}").value = (
+                report.instructions[name]
+            )
+            self.metrics.counter(f"dispatches.{name}").value = (
+                report.dispatches.get(name, 0)
+            )
         return report

@@ -1,23 +1,59 @@
-"""Exit and runtime accounting -- the raw data behind experiment E1."""
+"""Exit and runtime accounting -- the raw data behind experiment E1.
+
+Since the ``repro.obs`` refactor these structs no longer own their
+storage: every count lives in the run's :class:`MetricsRegistry` under
+the VM's scope (``vm.<name>.exits.<reason>``, ``vm.<name>.vmm_cycles``,
+...). :class:`ExitStats` and :class:`VMStats` are thin views that keep
+the original public API -- ``record``, ``counts``/``cycles`` Counters,
+plain ``int`` attributes -- byte-for-byte compatible while making the
+same numbers visible to cross-layer tooling and run manifests.
+"""
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
 
 from repro.cpu.exits import ExitReason
+from repro.obs.registry import MetricsRegistry, MetricsScope, counter_attr
+from repro.obs.registry import Counter as ObsCounter
+
+_EXITS = "exits."
+_EXIT_CYCLES = "exit_cycles."
 
 
-@dataclass
+def _private_scope() -> MetricsScope:
+    """Standalone stats (no hypervisor) get their own tiny registry."""
+    return MetricsRegistry().scope("vm")
+
+
 class ExitStats:
     """Per-reason exit counts and the cycles the VMM spent on them."""
 
-    counts: Counter = field(default_factory=Counter)
-    cycles: Counter = field(default_factory=Counter)
+    def __init__(self, metrics: Optional[MetricsScope] = None):
+        self.metrics = metrics if metrics is not None else _private_scope()
+        # Hot path: one dict hit per recorded exit, not two registry walks.
+        self._pairs: Dict[str, Tuple[ObsCounter, ObsCounter]] = {}
+
+    def _pair(self, key: str) -> Tuple[ObsCounter, ObsCounter]:
+        pair = self._pairs.get(key)
+        if pair is None:
+            pair = (self.metrics.counter(_EXITS + key),
+                    self.metrics.counter(_EXIT_CYCLES + key))
+            self._pairs[key] = pair
+        return pair
 
     def record(self, reason: ExitReason, cycles: int, detail: str = "") -> None:
         key = f"{reason.value}:{detail}" if detail else reason.value
-        self.counts[key] += 1
-        self.cycles[key] += cycles
+        count, spent = self._pair(key)
+        count.value += 1
+        spent.value += cycles
+
+    @property
+    def counts(self) -> Counter:
+        return Counter(self.metrics.values(_EXITS))
+
+    @property
+    def cycles(self) -> Counter:
+        return Counter(self.metrics.values(_EXIT_CYCLES))
 
     @property
     def total_exits(self) -> int:
@@ -31,29 +67,33 @@ class ExitStats:
         return dict(self.counts)
 
     def merge(self, other: "ExitStats") -> None:
-        self.counts.update(other.counts)
-        self.cycles.update(other.cycles)
+        for key, value in other.counts.items():
+            self._pair(key)[0].value += value
+        for key, value in other.cycles.items():
+            self._pair(key)[1].value += value
 
 
-@dataclass
 class VMStats:
-    """Whole-VM accounting."""
+    """Whole-VM accounting (registry-backed ``int`` attributes)."""
 
-    guest_instructions: int = 0
-    guest_cycles: int = 0  # cycles spent executing guest code
-    vmm_cycles: int = 0  # cycles spent in the VMM (exits, fills, emulation)
-    world_switches: int = 0
-    hypercalls: int = 0
-    reflected_traps: int = 0
-    injected_irqs: int = 0
-    shadow_fills: int = 0
-    shadow_pt_writes: int = 0
-    ept_violations: int = 0
-    bt_translated_instructions: int = 0
-    bt_callouts: int = 0
-    bt_block_hits: int = 0
-    bt_block_misses: int = 0
-    bt_chained: int = 0
+    guest_instructions = counter_attr()
+    guest_cycles = counter_attr()  # cycles spent executing guest code
+    vmm_cycles = counter_attr()  # cycles spent in the VMM (exits, fills, emulation)
+    world_switches = counter_attr()
+    hypercalls = counter_attr()
+    reflected_traps = counter_attr()
+    injected_irqs = counter_attr()
+    shadow_fills = counter_attr()
+    shadow_pt_writes = counter_attr()
+    ept_violations = counter_attr()
+    bt_translated_instructions = counter_attr()
+    bt_callouts = counter_attr()
+    bt_block_hits = counter_attr()
+    bt_block_misses = counter_attr()
+    bt_chained = counter_attr()
+
+    def __init__(self, metrics: Optional[MetricsScope] = None):
+        self.metrics = metrics if metrics is not None else _private_scope()
 
     @property
     def total_cycles(self) -> int:

@@ -12,6 +12,7 @@ from typing import Callable, Dict, List, Optional, Set
 from repro.core.modes import MMUVirtMode, VirtMode
 from repro.core.stats import ExitStats, VMStats
 from repro.cpu.isa import Cause
+from repro.obs.registry import MetricsRegistry
 from repro.mem.physmem import FrameAllocator, PhysicalMemory
 from repro.util.errors import ConfigError, MemoryError_
 from repro.util.units import MIB, PAGE_SHIFT, PAGE_SIZE, bytes_to_pages
@@ -154,7 +155,8 @@ class VirtualMachine:
     the MMU, attaches devices, and registers the VM.
     """
 
-    def __init__(self, config: GuestConfig, guest_mem: GuestMemory):
+    def __init__(self, config: GuestConfig, guest_mem: GuestMemory,
+                 metrics=None):
         config.validate()
         self.config = config
         self.name = config.name
@@ -164,8 +166,12 @@ class VirtualMachine:
         self.pic = None  # virtual InterruptController
         self.bt = None  # BTEngine under BINARY_TRANSLATION
         self.devices: Dict[str, object] = {}
-        self.exit_stats = ExitStats()
-        self.stats = VMStats()
+        if metrics is None:
+            metrics = MetricsRegistry().scope(f"vm.{config.name}")
+        #: this VM's namespace (``vm.<name>``) in the run's registry
+        self.metrics = metrics
+        self.exit_stats = ExitStats(metrics)
+        self.stats = VMStats(metrics)
         #: virtual IRQ causes awaiting injection (deprivileged modes).
         self.pending_virqs: Set[Cause] = set()
         #: set by the balloon driver: gfns surrendered to the host.

@@ -17,6 +17,7 @@ Ports (base = :data:`BLOCK_BASE`)::
 
 from repro.devices.bus import PortDevice
 from repro.devices.irq import IRQLine
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import DeviceError, MemoryError_
 
 BLOCK_BASE = 0x50
@@ -47,14 +48,25 @@ class BlockDevice(PortDevice):
     :class:`~repro.faults.watchdog.DeviceTimeoutMonitor` recovery path).
     """
 
+    reads = counter_attr()
+    writes = counter_attr()
+    io_errors = counter_attr()
+    stalled_commands = counter_attr()
+    resets = counter_attr()
+    commands = counter_attr()
+    completions = counter_attr()
+    sectors_transferred = counter_attr()
+
     def __init__(self, mem, irq: IRQLine, capacity_sectors: int = 2048,
-                 injector=None):
+                 injector=None, metrics=None):
         if capacity_sectors <= 0:
             raise DeviceError("disk needs at least one sector")
         self.mem = mem
         self.irq = irq
         self.capacity_sectors = capacity_sectors
         self.injector = injector
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("dev.block"))
         self.data = bytearray(capacity_sectors * SECTOR_SIZE)
         self._sector = 0
         self._count = 1
@@ -62,14 +74,6 @@ class BlockDevice(PortDevice):
         self._last_cmd = None
         self.status = STATUS_READY
         self.stuck = False
-        self.reads = 0
-        self.writes = 0
-        self.io_errors = 0
-        self.stalled_commands = 0
-        self.resets = 0
-        self.commands = 0
-        self.completions = 0
-        self.sectors_transferred = 0
 
     # -- detection/recovery contract (DeviceTimeoutMonitor) -----------------
 

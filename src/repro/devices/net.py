@@ -20,6 +20,7 @@ from typing import Callable, Deque, Optional
 
 from repro.devices.bus import PortDevice
 from repro.devices.irq import IRQLine
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import DeviceError
 
 NET_BASE = 0x60
@@ -37,14 +38,18 @@ MAX_FRAME = 9000  # jumbo-sized sanity cap
 class NetDevice(PortDevice):
     """Port-programmed NIC with host-side tx sink and rx queue."""
 
+    tx_frames = counter_attr()
+    tx_bytes = counter_attr()
+    rx_frames = counter_attr()
+
     def __init__(self, mem, irq: IRQLine,
-                 tx_sink: Optional[Callable[[bytes], None]] = None):
+                 tx_sink: Optional[Callable[[bytes], None]] = None,
+                 metrics=None):
         self.mem = mem
         self.irq = irq
         self.tx_sink = tx_sink
-        self.tx_frames = 0
-        self.tx_bytes = 0
-        self.rx_frames = 0
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("dev.net"))
         self.sent: Deque[bytes] = deque(maxlen=1024)  # tap for tests
         self._rx_queue: Deque[bytes] = deque()
         self._tx_addr = 0

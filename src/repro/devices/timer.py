@@ -17,6 +17,7 @@ Ports::
 
 from repro.devices.bus import PortDevice
 from repro.devices.irq import IRQLine
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import DeviceError
 
 TIMER_BASE = 0x40
@@ -32,12 +33,15 @@ MODE_PERIODIC = 2
 class TimerDevice(PortDevice):
     """Cycle-driven interval timer."""
 
-    def __init__(self, irq: IRQLine):
+    expirations = counter_attr()
+
+    def __init__(self, irq: IRQLine, metrics=None):
         self.irq = irq
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("dev.timer"))
         self.period = 0
         self.mode = MODE_OFF
         self.deadline = None  # absolute cycle count
-        self.expirations = 0
 
     def program(self, period: int, periodic: bool, now_cycles: int) -> None:
         """Arm the timer ``period`` cycles from ``now_cycles``."""

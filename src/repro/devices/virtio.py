@@ -44,6 +44,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.devices.block import SECTOR_SIZE
 from repro.devices.bus import PortDevice
 from repro.devices.irq import IRQLine
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import DeviceError, MemoryError_
 
 VIRTIO_BLK_BASE = 0x70
@@ -69,15 +70,18 @@ BLK_S_ERROR = 1
 class VirtQueue:
     """Device-side view of one split ring in guest memory."""
 
-    def __init__(self, mem):
+    kicks = counter_attr()
+    requests = counter_attr()
+
+    def __init__(self, mem, metrics=None):
         self.mem = mem
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("dev.virtq"))
         self.desc_gpa = 0
         self.avail_gpa = 0
         self.used_gpa = 0
         self.size = 0
         self.last_avail_idx = 0
-        self.kicks = 0
-        self.requests = 0
 
     @property
     def configured(self) -> bool:
@@ -129,8 +133,10 @@ class VirtQueue:
 class _VirtQueuePorts(PortDevice):
     """Shared port plumbing for one queue block of 6 ports."""
 
-    def __init__(self, mem, base: int):
-        self.queue = VirtQueue(mem)
+    def __init__(self, mem, base: int, metrics=None):
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("dev.virtio"))
+        self.queue = VirtQueue(mem, metrics=self.metrics.scope("queue"))
         self.base = base
 
     def queue_port_read(self, offset: int) -> int:
@@ -178,20 +184,21 @@ class VirtioBlockDevice(_VirtQueuePorts):
     (:class:`~repro.faults.watchdog.DeviceTimeoutMonitor` drives it).
     """
 
+    stalled_kicks = counter_attr()
+    resets = counter_attr()
+    completions = counter_attr()
+    reads = counter_attr()
+    writes = counter_attr()
+    errors = counter_attr()
+
     def __init__(self, mem, irq: IRQLine, capacity_sectors: int = 2048,
-                 base: int = VIRTIO_BLK_BASE, injector=None):
-        super().__init__(mem, base)
+                 base: int = VIRTIO_BLK_BASE, injector=None, metrics=None):
+        super().__init__(mem, base, metrics=metrics)
         self.irq = irq
         self.capacity_sectors = capacity_sectors
         self.injector = injector
         self.data = bytearray(capacity_sectors * SECTOR_SIZE)
         self.stuck = False
-        self.stalled_kicks = 0
-        self.resets = 0
-        self.completions = 0
-        self.reads = 0
-        self.writes = 0
-        self.errors = 0
 
     # -- detection/recovery contract (DeviceTimeoutMonitor) -----------------
 
@@ -303,19 +310,23 @@ class VirtioBlockDevice(_VirtQueuePorts):
 class VirtioNetDevice(PortDevice):
     """Paravirtual NIC: tx queue at ``base``, rx queue at ``base + 8``."""
 
+    tx_frames = counter_attr()
+    tx_bytes = counter_attr()
+    rx_frames = counter_attr()
+    rx_dropped = counter_attr()
+
     def __init__(self, mem, irq: IRQLine,
                  tx_sink: Optional[Callable[[bytes], None]] = None,
-                 base: int = VIRTIO_NET_BASE):
+                 base: int = VIRTIO_NET_BASE, metrics=None):
         self.base = base
         self.irq = irq
         self.tx_sink = tx_sink
-        self.tx = _VirtQueuePorts(mem, base)
-        self.rx = _VirtQueuePorts(mem, base + 8)
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("dev.virtio_net"))
+        self.tx = _VirtQueuePorts(mem, base, metrics=self.metrics.scope("tx"))
+        self.rx = _VirtQueuePorts(mem, base + 8,
+                                  metrics=self.metrics.scope("rx"))
         self.mem = mem
-        self.tx_frames = 0
-        self.tx_bytes = 0
-        self.rx_frames = 0
-        self.rx_dropped = 0
         self.sent: List[bytes] = []
 
     def port_read(self, port: int) -> int:

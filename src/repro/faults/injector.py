@@ -31,6 +31,7 @@ Known sites (subsystems may define more; unplanned sites never fire):
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry
 from repro.util.errors import ConfigError
 from repro.util.rng import DeterministicRNG
 
@@ -99,13 +100,14 @@ class FaultPlan:
 
 
 class _SiteState:
-    __slots__ = ("spec", "rng", "opportunities", "fired")
+    __slots__ = ("spec", "rng", "opportunities", "fired", "counter")
 
     def __init__(self, spec: FaultSpec, rng: DeterministicRNG):
         self.spec = spec
         self.rng = rng
         self.opportunities = 0
         self.fired = 0
+        self.counter = None  # bound by the injector
 
 
 class FaultInjector:
@@ -117,14 +119,22 @@ class FaultInjector:
     serializes it for byte-for-byte reproducibility assertions.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, metrics=None):
         plan.validate()
         self.plan = plan
+        #: ``faults.*`` scope: each firing counts under
+        #: ``faults.injected.<site>`` plus the ``faults.injected.total``
+        #: roll-up the run manifest always reports.
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("faults"))
+        self._total = self.metrics.counter("injected.total")
         root = DeterministicRNG(plan.seed)
         self._sites: Dict[str, _SiteState] = {
             spec.site: _SiteState(spec, root.fork(_site_salt(spec.site)))
             for spec in plan.specs
         }
+        for site, state in self._sites.items():
+            state.counter = self.metrics.counter(f"injected.{site}")
         #: Every decision taken: (site, opportunity index, fired).
         self.trace: List[Tuple[str, int, bool]] = []
 
@@ -142,6 +152,8 @@ class FaultInjector:
             fired = state.rng.random() < state.spec.rate
         if fired:
             state.fired += 1
+            state.counter.inc()
+            self._total.inc()
         self.trace.append((site, index, fired))
         return fired
 

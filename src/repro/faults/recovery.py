@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Set
 
 from repro.core.snapshot import VMSnapshot, restore_vm, snapshot_vm
+from repro.obs.registry import counter_attr
 from repro.util.errors import ConfigError
 from repro.util.units import PAGE_SIZE
 
@@ -60,16 +61,20 @@ class MicroRebooter:
       rolls the whole VM back to the checkpoint.
     """
 
+    reboots = counter_attr()
+    checkpoints_taken = counter_attr()
+
     def __init__(self, hypervisor):
         self.hv = hypervisor
+        self.metrics = hypervisor.registry.scope("faults.recovery")
         self._checkpoints: Dict[str, bytes] = {}
         self._corrupted: Dict[str, Set[int]] = {}
-        self.reboots = 0
 
     def checkpoint(self, vm) -> VMSnapshot:
         """Store (and return) a fresh snapshot of ``vm``."""
         snap = snapshot_vm(vm)
         self._checkpoints[vm.name] = snap.to_bytes()
+        self.checkpoints_taken += 1
         return snap
 
     def has_checkpoint(self, name: str) -> bool:

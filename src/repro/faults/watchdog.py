@@ -14,6 +14,7 @@ platforms: the guest is never trusted to report its own death.
   and drains the backlog.
 """
 
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import ConfigError
 
 
@@ -25,14 +26,17 @@ class GuestProgressWatchdog:
     reach guest entry without pending work, cannot false-positive).
     """
 
-    def __init__(self, idle_pump_limit: int = 8):
+    hangs_detected = counter_attr()
+
+    def __init__(self, idle_pump_limit: int = 8, metrics=None):
         if idle_pump_limit <= 0:
             raise ConfigError("idle_pump_limit must be positive")
         self.idle_pump_limit = idle_pump_limit
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("faults.watchdog"))
         self.last_instret = None
         self.idle_pumps = 0
         self.pumps = 0
-        self.hangs_detected = 0
 
     def beat(self, instret: int) -> bool:
         """Observe one heartbeat; True when the VM is declared hung."""
@@ -64,7 +68,9 @@ class DeviceTimeoutMonitor:
     is reset.
     """
 
-    def __init__(self, device, stall_checks: int = 2):
+    timeouts = counter_attr()  # resets this monitor fired
+
+    def __init__(self, device, stall_checks: int = 2, metrics=None):
         if stall_checks <= 0:
             raise ConfigError("stall_checks must be positive")
         for member in ("ops_submitted", "ops_completed", "reset"):
@@ -74,12 +80,13 @@ class DeviceTimeoutMonitor:
                 )
         self.device = device
         self.stall_checks = stall_checks
+        self.metrics = (metrics if metrics is not None
+                        else MetricsRegistry().scope("faults.timeout"))
         self._completed = device.ops_completed
         self._submitted = device.ops_submitted
         # Attaching to an already-wedged device counts its backlog.
         self._outstanding = device.ops_submitted > device.ops_completed
         self._stalled = 0
-        self.timeouts = 0  # resets this monitor fired
 
     def check(self) -> bool:
         """Poll once; True when the poll timed out and reset the device."""

@@ -21,6 +21,7 @@ to the final :class:`~repro.util.errors.LinkError`.
 
 import zlib
 from collections import deque
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set
 
@@ -65,6 +66,8 @@ class LiveMigrator:
         bytes_per_cycle: float = 1.0,
         injector=None,
         retry_policy: Optional[RetryPolicy] = None,
+        metrics=None,
+        tracer=None,
     ):
         if bytes_per_cycle <= 0:
             raise MigrationError("bytes_per_cycle must be positive")
@@ -73,6 +76,17 @@ class LiveMigrator:
         self.bytes_per_cycle = bytes_per_cycle
         self.injector = injector
         self.retry_policy = retry_policy or RetryPolicy()
+        #: ``migration.*`` scope; defaults into the source hypervisor's
+        #: registry so standalone migrations still publish somewhere.
+        self.metrics = (metrics if metrics is not None
+                        else source.registry.scope("migration"))
+        self.tracer = tracer
+
+    def _span(self, name: str, **attrs):
+        """A tracer span when tracing is on, else a no-op context."""
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, **attrs)
 
     def migrate(
         self,
@@ -130,7 +144,8 @@ class LiveMigrator:
 
         try:
             # Round 0: full copy while logging.
-            sent = self._send_with_retry(vm, dst_vm, deque(all_gfns), stats)
+            with self._span("migration.round", vm=vm.name, round=0):
+                sent = self._send_with_retry(vm, dst_vm, deque(all_gfns), stats)
             transfer_cycles += self._cycles(sent * PAGE_SIZE)
             pages_copied += sent
             round_sizes.append(sent)
@@ -146,7 +161,9 @@ class LiveMigrator:
                 if len(dirty) <= threshold_pages:
                     break
                 batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
-                sent = self._send_with_retry(vm, dst_vm, deque(batch), stats)
+                with self._span("migration.round", vm=vm.name, round=rounds):
+                    sent = self._send_with_retry(vm, dst_vm, deque(batch),
+                                                 stats)
                 transfer_cycles += self._cycles(sent * PAGE_SIZE)
                 pages_copied += sent
                 round_sizes.append(sent)
@@ -155,7 +172,9 @@ class LiveMigrator:
 
             # Stop-and-copy the residue plus machine state: the downtime.
             final_batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
-            sent = self._send_with_retry(vm, dst_vm, deque(final_batch), stats)
+            with self._span("migration.stop_and_copy", vm=vm.name):
+                sent = self._send_with_retry(vm, dst_vm, deque(final_batch),
+                                             stats)
             downtime = self._cycles(sent * PAGE_SIZE + CPU_STATE_BYTES)
             transfer_cycles += downtime
             pages_copied += sent
@@ -171,6 +190,15 @@ class LiveMigrator:
             # still-running source never leaks a dirty hook.
             src.dirty_handlers.pop(vm.name, None)
             vm.guest_mem.write_hook = old_hook
+
+        m = self.metrics
+        m.counter("migrations").inc()
+        m.counter("rounds").inc(rounds)
+        m.counter("pages_copied").inc(pages_copied)
+        m.counter("retries").inc(stats["retries"])
+        m.counter("backoff_cycles").inc(stats["backoff_cycles"])
+        m.counter("corrupt_pages").inc(stats["corrupt_pages"])
+        m.observe("downtime_cycles", downtime)
 
         return LiveMigrationResult(
             dest_vm=dst_vm,

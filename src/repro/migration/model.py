@@ -90,10 +90,23 @@ def _run(sim: Simulator, gen: Generator) -> MigrationResult:
     return sim.run_until_process(proc)
 
 
+def _record(metrics, result: MigrationResult) -> None:
+    """Publish one model run under ``<scope>.model.<technique>.*``."""
+    if metrics is None:
+        return
+    scope = metrics.scope(f"model.{result.technique}")
+    scope.counter("runs").inc()
+    scope.counter("pages_sent").inc(result.pages_sent)
+    scope.counter("rounds").inc(result.rounds)
+    scope.observe("total_time_us", result.total_time_us)
+    scope.observe("downtime_us", result.downtime_us)
+
+
 def simulate_precopy(
     cfg: MigrationConfig,
     link: NetworkLink,
     sim: Optional[Simulator] = None,
+    metrics=None,
 ) -> MigrationResult:
     """Iterative pre-copy: rounds of (transfer, re-dirty) then stop-copy."""
     cfg.validate()
@@ -141,13 +154,16 @@ def simulate_precopy(
                 )
             to_send = dirtied
 
-    return _run(sim, process())
+    result = _run(sim, process())
+    _record(metrics, result)
+    return result
 
 
 def simulate_postcopy(
     cfg: MigrationConfig,
     link: NetworkLink,
     sim: Optional[Simulator] = None,
+    metrics=None,
 ) -> MigrationResult:
     """Post-copy: ship CPU state, resume remotely, push + demand-fetch.
 
@@ -205,13 +221,16 @@ def simulate_postcopy(
             degraded_time_us=degraded,
         )
 
-    return _run(sim, process())
+    result = _run(sim, process())
+    _record(metrics, result)
+    return result
 
 
 def simulate_stop_and_copy(
     cfg: MigrationConfig,
     link: NetworkLink,
     sim: Optional[Simulator] = None,
+    metrics=None,
 ) -> MigrationResult:
     """The naive baseline: freeze, copy everything, resume."""
     cfg.validate()
@@ -231,4 +250,6 @@ def simulate_stop_and_copy(
             rounds=1,
         )
 
-    return _run(sim, process())
+    result = _run(sim, process())
+    _record(metrics, result)
+    return result

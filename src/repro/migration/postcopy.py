@@ -56,6 +56,7 @@ class PostCopyMigrator:
         fetch_latency_cycles: int = 3000,
         push_batch_pages: int = 64,
         push_quantum_instructions: int = 5000,
+        metrics=None,
     ):
         if bytes_per_cycle <= 0:
             raise MigrationError("bytes_per_cycle must be positive")
@@ -67,6 +68,10 @@ class PostCopyMigrator:
         self.fetch_latency_cycles = fetch_latency_cycles
         self.push_batch_pages = push_batch_pages
         self.push_quantum = push_quantum_instructions
+        #: ``migration.*`` scope shared with pre-copy; post-copy specific
+        #: counters live one level down under ``migration.postcopy.*``.
+        self.metrics = (metrics if metrics is not None
+                        else source.registry.scope("migration"))
 
     def migrate_and_run(
         self,
@@ -172,6 +177,13 @@ class PostCopyMigrator:
             stats["pushed"] += 1
 
         self.destination.ept_fault_hook = old_hook
+        m = self.metrics
+        m.counter("migrations").inc()
+        pc = m.scope("postcopy")
+        pc.counter("remote_faults").inc(stats["faults"])
+        pc.counter("pushed_pages").inc(stats["pushed"])
+        pc.counter("pages_total").inc(total_pages)
+        pc.observe("downtime_cycles", downtime)
         return PostCopyResult(
             dest_vm=dst_vm,
             downtime_cycles=downtime,

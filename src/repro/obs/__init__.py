@@ -1,0 +1,45 @@
+"""repro.obs: the unified observability substrate.
+
+One :class:`MetricsRegistry` per run, dotted-path namespaced, stamped by
+a :class:`Clock` whose timebase matches the world that owns it
+(:class:`CycleClock` for the instruction engine, :class:`SimClock` for
+the DES side), with :class:`Tracer` spans riding the existing
+:class:`~repro.util.eventlog.EventLog`.
+"""
+
+from repro.obs.clock import Clock, CycleClock, ManualClock, SimClock
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    SUBSYSTEMS,
+    build_manifest,
+    register_baseline,
+    subsystem_of,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsScope,
+    counter_attr,
+)
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "Clock",
+    "CycleClock",
+    "ManualClock",
+    "SimClock",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsScope",
+    "counter_attr",
+    "Tracer",
+    "MANIFEST_SCHEMA",
+    "SUBSYSTEMS",
+    "build_manifest",
+    "register_baseline",
+    "subsystem_of",
+]

@@ -1,0 +1,90 @@
+"""Per-run JSON manifest built from a registry snapshot.
+
+The bench harness gives every experiment run one registry; at the end it
+snapshots the registry into a manifest that groups metric names by
+subsystem. ``register_baseline`` pre-registers one canonical counter per
+subsystem so the manifest always declares the full telemetry surface --
+an experiment that never migrates still reports ``migration.*`` at zero
+rather than omitting the subsystem, which keeps downstream regression
+tooling schema-stable across experiments.
+"""
+
+from typing import Dict, List, Optional
+
+from repro.obs.registry import MetricsRegistry
+
+__all__ = [
+    "MANIFEST_SCHEMA",
+    "SUBSYSTEMS",
+    "subsystem_of",
+    "register_baseline",
+    "build_manifest",
+]
+
+MANIFEST_SCHEMA = "pyvisor.metrics.manifest/1"
+
+#: Canonical subsystem groups, in the order the manifest reports them.
+SUBSYSTEMS = (
+    "core", "devices", "sched", "migration", "overcommit", "faults",
+    "cluster", "sim", "trace",
+)
+
+#: One always-present counter per subsystem (incremented by the layer
+#: that owns it, or left at zero when the run never touches that layer).
+_BASELINE_COUNTERS = (
+    "core.vms_created",
+    "devices.attached",
+    "sched.dispatches",
+    "migration.migrations",
+    "overcommit.operations",
+    "faults.injected.total",
+)
+
+
+def subsystem_of(name: str) -> str:
+    """Map a dotted metric name to its subsystem group.
+
+    Per-VM metrics live under ``vm.<name>.*``: device counters nest as
+    ``vm.<name>.dev.<device>.*`` and everything else on the VM (exits,
+    VMM cycles) belongs to the core engine.
+    """
+    if name.startswith("vm."):
+        return "devices" if ".dev." in name else "core"
+    head = name.split(".", 1)[0]
+    if head == "dev":
+        return "devices"
+    if head == "span":
+        return "trace"
+    return head if head in SUBSYSTEMS else "other"
+
+
+def register_baseline(registry: MetricsRegistry) -> MetricsRegistry:
+    """Pre-register the schema-stable baseline counters; returns registry."""
+    for name in _BASELINE_COUNTERS:
+        registry.counter(name)
+    return registry
+
+
+def build_manifest(registry: MetricsRegistry,
+                   experiment: Optional[str] = None,
+                   extra: Optional[Dict[str, object]] = None) -> Dict[str, object]:
+    """Snapshot ``registry`` into a JSON-serializable run manifest."""
+    snap = registry.snapshot()
+    groups: Dict[str, List[str]] = {}
+    for name in snap["metrics"]:
+        groups.setdefault(subsystem_of(name), []).append(name)
+    ordered = {s: sorted(groups[s]) for s in SUBSYSTEMS if s in groups}
+    for subsystem in sorted(groups):
+        if subsystem not in ordered:
+            ordered[subsystem] = sorted(groups[subsystem])
+    manifest: Dict[str, object] = {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": experiment,
+        "timebase": snap["timebase"],
+        "time": snap["time"],
+        "subsystems": ordered,
+        "metrics": snap["metrics"],
+    }
+    if extra:
+        manifest["extra"] = extra
+    return manifest

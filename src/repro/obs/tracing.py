@@ -1,0 +1,59 @@
+"""Span tracing layered on :class:`repro.util.eventlog.EventLog`.
+
+A span is a named, timed region (``with tracer.span("migration.round",
+vm="web")``). Entry and exit are emitted as ordinary events under the
+``"span"`` category -- ``phase="begin"`` / ``phase="end"`` with the
+nesting ``depth`` -- so the existing EventLog filtering, bounding, and
+drop accounting all apply unchanged. When the tracer is built with a
+metrics registry/scope, every completed span also lands its duration in
+a ``span.<name>`` histogram, linking the trace world to the metrics
+world through one shared clock.
+"""
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.obs.clock import Clock, ManualClock
+from repro.util.eventlog import EventLog
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Emits begin/end span events into an :class:`EventLog`."""
+
+    def __init__(self, log: Optional[EventLog] = None,
+                 clock: Optional[Clock] = None, metrics=None):
+        self.log = log if log is not None else EventLog(capacity=4096)
+        self.clock = clock if clock is not None else ManualClock()
+        self.metrics = metrics
+        self._depth = 0
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return self._depth
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[None]:
+        """Trace one region; re-raising exceptions after closing the span."""
+        start = self.clock.now()
+        depth = self._depth
+        self._depth += 1
+        self.log.emit(start, "span", name, phase="begin", depth=depth, **attrs)
+        try:
+            yield
+        finally:
+            self._depth -= 1
+            end = self.clock.now()
+            duration = end - start
+            self.log.emit(end, "span", name, phase="end", depth=depth,
+                          duration=duration, **attrs)
+            if self.metrics is not None:
+                self.metrics.observe(f"span.{name}", duration)
+
+    def spans(self, name: Optional[str] = None):
+        """Retained span events, optionally limited to one span name."""
+        for event in self.log.filter(category="span"):
+            if name is None or event.message == name:
+                yield event

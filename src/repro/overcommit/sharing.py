@@ -15,6 +15,7 @@ from repro.core.hypervisor import Hypervisor
 from repro.core.nested import NestedMMU
 from repro.core.shadow import ShadowMMU
 from repro.core.vm import VirtualMachine
+from repro.obs.registry import counter_attr
 from repro.util.errors import MemoryError_
 from repro.util.units import PAGE_SHIFT
 
@@ -36,13 +37,16 @@ class ScanResult:
 class PageSharer:
     """KSM-style cross-VM page deduplication."""
 
+    cow_breaks = counter_attr()
+
     def __init__(self, hypervisor: Hypervisor):
         self.hv = hypervisor
+        self.metrics = hypervisor.registry.scope("overcommit.sharing")
+        self._ops = hypervisor.registry.counter("overcommit.operations")
         #: canonical hfn -> reference count (number of gfn mappings).
         self.refcount: Dict[int, int] = {}
         #: (vm name, gfn) pairs currently sharing a frame.
         self._sharers: Set[Tuple[str, int]] = set()
-        self.cow_breaks = 0
         hypervisor.sharing = self
 
     # -- scanning ---------------------------------------------------------
@@ -63,6 +67,12 @@ class PageSharer:
                 continue
             self._merge_group(candidates, result)
         result.shared_frames = len(self.refcount)
+        m = self.metrics
+        m.counter("scans").inc()
+        m.counter("frames_scanned").inc(result.frames_scanned)
+        m.counter("pages_merged").inc(result.pages_merged)
+        m.counter("frames_freed").inc(result.frames_freed)
+        self._ops.inc()
         return result
 
     def _merge_group(self, candidates, result: ScanResult) -> None:
@@ -115,6 +125,7 @@ class PageSharer:
         self._unprotect(vm, gfn)
         self._sharers.discard((vm.name, gfn))
         self.cow_breaks += 1
+        self._ops.inc()
         if self.release_frame(shared_hfn):
             # Last reference went away entirely (e.g. balloon raced us).
             self.hv.allocator.free(shared_hfn)

@@ -19,6 +19,7 @@ from repro.core.hypervisor import Hypervisor
 from repro.core.nested import NestedMMU
 from repro.core.shadow import ShadowMMU
 from repro.core.vm import VirtualMachine
+from repro.obs.registry import counter_attr
 from repro.util.errors import MemoryError_
 from repro.util.units import PAGE_SHIFT
 
@@ -26,17 +27,20 @@ from repro.util.units import PAGE_SHIFT
 class HostSwap:
     """Per-hypervisor swap device with LRU-ish victim selection."""
 
+    swap_outs = counter_attr()
+    swap_ins = counter_attr()
+
     def __init__(self, hypervisor: Hypervisor, swap_in_cost_cycles: int = 200_000):
         self.hv = hypervisor
         self.swap_in_cost_cycles = swap_in_cost_cycles
+        self.metrics = hypervisor.registry.scope("overcommit.swap")
+        self._ops = hypervisor.registry.counter("overcommit.operations")
         self._store: Dict[Tuple[str, int], bytes] = {}
         #: Insertion-ordered map of resident (vm name, gfn) -> vm, used
         #: for victim selection when swapping in under pressure.
         self._resident_lru: "OrderedDict[Tuple[str, int], VirtualMachine]" = (
             OrderedDict()
         )
-        self.swap_outs = 0
-        self.swap_ins = 0
         hypervisor.ept_fault_hook = self._ept_fault
 
     def install(self, vm: VirtualMachine) -> None:
@@ -67,6 +71,7 @@ class HostSwap:
         self._store[(vm.name, gfn)] = content
         self._resident_lru.pop((vm.name, gfn), None)
         self.swap_outs += 1
+        self._ops.inc()
 
     def evict_some(self, count: int) -> int:
         """Evict up to ``count`` resident pages (oldest first)."""
@@ -102,6 +107,7 @@ class HostSwap:
         self._resident_lru[key] = vm
         vm.stats.vmm_cycles += self.swap_in_cost_cycles
         self.swap_ins += 1
+        self._ops.inc()
 
     def is_swapped(self, vm: VirtualMachine, gfn: int) -> bool:
         return (vm.name, gfn) in self._store

@@ -14,6 +14,10 @@ class Scheduler:
     #: Default time slice handed to a picked task.
     quantum_us: int = 30 * MSEC
 
+    #: Registry namespace segment for this policy: the host publishes
+    #: its counters under ``sched.<metrics_name>.*``.
+    metrics_name: str = "policy"
+
     def add_task(self, task: VCpuTask, now: int) -> None:
         raise NotImplementedError
 

@@ -28,6 +28,8 @@ BOOST, UNDER, OVER = 0, 1, 2
 class CreditScheduler(Scheduler):
     """Proportional share with UNDER/OVER/BOOST priorities."""
 
+    metrics_name = "credit"
+
     def __init__(
         self,
         quantum_us: int = 10 * MSEC,  # Xen's tick: accounting granularity

@@ -9,6 +9,8 @@ credit scheduler's BOOST latency win in experiment E5.
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.clock import SimClock
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.sched.base import Scheduler, SchedStats
 from repro.sched.credit import CreditScheduler
 from repro.sched.entities import BLOCK, RUN, TaskState, VCpuTask
@@ -23,18 +25,30 @@ IDLE_POLL_US = 100
 class SchedHost:
     """One host with ``num_cores`` physical CPUs and one scheduler."""
 
-    def __init__(self, sim: Simulator, scheduler: Scheduler, num_cores: int = 1):
+    preempt_interrupts = counter_attr()
+
+    def __init__(self, sim: Simulator, scheduler: Scheduler, num_cores: int = 1,
+                 metrics=None):
         if num_cores <= 0:
             raise SchedulerError("need at least one core")
         self.sim = sim
         self.scheduler = scheduler
         self.num_cores = num_cores
+        if metrics is None:
+            # Private registry stamped in sim-time; pass a shared
+            # ``sched`` scope to publish into a run's registry instead.
+            metrics = MetricsRegistry(clock=SimClock(sim)).scope("sched")
+        #: ``sched.<policy>`` scope: dispatches, preemptions, wake
+        #: latency histogram, all stamped in simulator microseconds.
+        self.metrics = metrics.scope(scheduler.metrics_name)
+        self._sched_dispatches = metrics.counter("dispatches")
+        self._m_dispatches = self.metrics.counter("dispatches")
+        self._m_preemptions = self.metrics.counter("preemptions")
         self.tasks: List[VCpuTask] = []
         self._end_time: Optional[int] = None
         #: core -> running task while dispatched.
         self._running: Dict[int, VCpuTask] = {}
         self._core_procs: Dict[int, Process] = {}
-        self.preempt_interrupts = 0
 
     def add_task(self, task: VCpuTask) -> None:
         self.tasks.append(task)
@@ -68,7 +82,12 @@ class SchedHost:
                 except Interrupted:
                     pass  # woken early: re-pick immediately
                 continue
+            was_waiting = task.ready_since is not None
             task.note_dispatched(sim.now)
+            self._sched_dispatches.inc()
+            self._m_dispatches.inc()
+            if was_waiting and task.wake_latencies:
+                self.metrics.observe("wake_latency_us", task.wake_latencies[-1])
             slice_ = min(
                 sched.quantum_us,
                 task.remaining_in_phase,
@@ -100,6 +119,7 @@ class SchedHost:
             sched.account(task, used, sim.now)
             if task.remaining_in_phase > 0:
                 task.preemptions += 1
+                self._m_preemptions.inc()
                 task.note_ready(sim.now)
                 sched.on_ready(task, sim.now)
                 continue
@@ -152,10 +172,11 @@ def run_schedule(
     tasks: Sequence[VCpuTask],
     duration_us: int,
     num_cores: int = 1,
+    metrics=None,
 ) -> SchedStats:
     """Convenience wrapper: fresh sim, add tasks, run, return stats."""
     sim = Simulator()
-    host = SchedHost(sim, scheduler, num_cores=num_cores)
+    host = SchedHost(sim, scheduler, num_cores=num_cores, metrics=metrics)
     for task in tasks:
         host.add_task(task)
     return host.run(duration_us)

@@ -11,6 +11,8 @@ from repro.sim.kernel import MSEC
 class RoundRobinScheduler(Scheduler):
     """FIFO queue, fixed quantum, no notion of weight."""
 
+    metrics_name = "rr"
+
     def __init__(self, quantum_us: int = 30 * MSEC):
         self.quantum_us = quantum_us
         self._queue: Deque[VCpuTask] = deque()

@@ -19,6 +19,8 @@ STRIDE1 = 1 << 20
 class StrideScheduler(Scheduler):
     """Min-pass dispatch with lazy heap deletion."""
 
+    metrics_name = "stride"
+
     def __init__(self, quantum_us: int = 10 * MSEC):
         if quantum_us <= 0:
             raise SchedulerError("quantum must be positive")

@@ -20,6 +20,8 @@ Fault model (driven by an optional
 from dataclasses import dataclass
 from typing import Generator, Optional
 
+from repro.obs.clock import SimClock
+from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.sim.kernel import SEC, Simulator, Timeout
 from repro.sim.resources import Resource
 from repro.util.errors import ConfigError, LinkError
@@ -41,6 +43,12 @@ class TransferResult:
 class NetworkLink:
     """A serialized link with bandwidth (bytes/s) and latency (ticks)."""
 
+    bytes_sent = counter_attr()
+    transfers = counter_attr()
+    drops = counter_attr()
+    degraded_transfers = counter_attr()
+    partitions = counter_attr()
+
     def __init__(
         self,
         sim: Simulator,
@@ -50,6 +58,7 @@ class NetworkLink:
         injector=None,
         degrade_factor: float = 4.0,
         partition_ticks: int = 50 * 1000,
+        metrics=None,
     ):
         if bandwidth_bytes_per_sec <= 0:
             raise ConfigError("bandwidth must be positive")
@@ -66,13 +75,12 @@ class NetworkLink:
         self.injector = injector
         self.degrade_factor = degrade_factor
         self.partition_ticks = partition_ticks
+        #: ``sim.link.<name>.*`` counters, stamped in sim microseconds.
+        self.metrics = (metrics if metrics is not None else
+                        MetricsRegistry(clock=SimClock(sim)).scope(
+                            f"sim.link.{name}"))
         self._channel = Resource(sim, capacity=1)
         self._partitioned_until = 0
-        self.bytes_sent = 0
-        self.transfers = 0
-        self.drops = 0
-        self.degraded_transfers = 0
-        self.partitions = 0
 
     def transmission_time(self, nbytes: int) -> int:
         """Serialization + propagation time for ``nbytes``, in ticks."""

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -16,6 +18,22 @@ def test_run_single_experiment(capsys):
     out = capsys.readouterr().out
     assert "E5a" in out and "credit" in out
     assert "E5b" in out  # the extra latency table prints too
+
+
+def test_run_json_emits_metrics_manifest(capsys):
+    assert main(["run", "e5", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["schema"] == "pyvisor.metrics.manifest/1"
+    assert manifest["experiment"] == "E5"
+    # Baseline registration guarantees coverage even for a
+    # scheduler-only experiment.
+    assert len(manifest["subsystems"]) >= 6
+    dispatches = manifest["metrics"]["sched.dispatches"]
+    assert dispatches["type"] == "counter"
+    assert dispatches["value"] > 0
+    # Wake-latency histograms come through as summaries.
+    names = manifest["subsystems"]["sched"]
+    assert any(n.endswith("wake_latency_us") for n in names)
 
 
 def test_run_unknown_experiment(capsys):

@@ -22,6 +22,11 @@ class TestPercentile:
     def test_median_of_even_sample_interpolates(self):
         assert percentile([1, 2, 3, 4], 50) == 2.5
 
+    def test_two_element_interpolation(self):
+        assert percentile([1, 2], 50) == 1.5
+        assert percentile([1, 2], 25) == 1.25
+        assert percentile([2, 1], 75) == 1.75  # order-insensitive
+
     def test_extremes(self):
         data = [3, 1, 4, 1, 5]
         assert percentile(data, 0) == 1
@@ -87,6 +92,24 @@ class TestSummary:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             Summary.of([])
+
+    def test_from_values_is_alias_of_of(self):
+        data = [0.5, 2.0, 9.0]
+        assert Summary.from_values(data) == Summary.of(data)
+
+    def test_dict_round_trip(self):
+        s = Summary.of([1, 2, 3, 4, 5, 6, 7, 8])
+        d = s.to_dict()
+        assert set(d) == {"count", "mean", "stdev", "minimum",
+                          "p50", "p95", "p99", "maximum"}
+        assert all(isinstance(v, (int, float)) for v in d.values())
+        assert Summary.from_dict(d) == s
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=40))
+    def test_dict_round_trip_holds_for_any_sample(self, data):
+        s = Summary.of(data)
+        assert Summary.from_dict(s.to_dict()) == s
 
 
 class TestRunningStats:
