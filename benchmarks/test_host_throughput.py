@@ -1,0 +1,40 @@
+"""Host throughput: closure-compiled blocks vs the reference interpreter.
+
+Unlike E1-E10 this benchmark measures *host* wall-clock speed
+(guest-MIPS), so absolute numbers depend on the machine; the shape
+assertions stick to what is hardware-independent. Bit-identical
+simulated state between the two engines is asserted inside the harness
+itself (it raises on any cycles/instret divergence).
+"""
+
+import json
+
+from repro.bench import run_host_throughput
+
+
+def test_host_throughput_quick(benchmark, show):
+    result = benchmark.pedantic(
+        run_host_throughput, kwargs={"quick": True}, iterations=1, rounds=1
+    )
+    show(result)
+
+    # Every native workload ran on both engines, plus the bt pair.
+    layers = {(row.layer, row.workload, row.engine) for row in result.rows}
+    for workload in ("cpu_bound", "memtouch", "syscall_storm"):
+        assert ("native", workload, "interp") in layers
+        assert ("native", workload, "compiled") in layers
+
+    # Compute-bound code is where closure compilation pays off most;
+    # this ratio is stable even at quick scale.
+    assert result.speedups["native/cpu_bound"] > 2.0
+
+    # The compiler actually engaged and reported its counters, and
+    # system instructions went through the reference fallback path.
+    assert result.jit_counters["blocks_compiled"] > 0
+    assert result.jit_counters["fallback_steps"] > 0
+
+    # The JSON payload is complete and serializable.
+    payload = json.loads(json.dumps(result.to_json()))
+    assert payload["schema"] == "pyvisor.bench.host/1"
+    assert payload["speedups"]["native/cpu_bound"] > 2.0
+    assert all(row["guest_mips"] > 0 for row in payload["rows"])

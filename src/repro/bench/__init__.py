@@ -17,8 +17,11 @@ from repro.bench.e7_overcommit import run_e7, run_e7_functional
 from repro.bench.e8_consolidation import run_e8
 from repro.bench.e9_ablation import run_e9_exit_cost, run_e9_bt
 from repro.bench.e10_resilience import run_e10
+from repro.bench.host_throughput import HostBenchResult, run_host_throughput
 
 __all__ = [
+    "HostBenchResult",
+    "run_host_throughput",
     "ExperimentResult",
     "ModeMetrics",
     "run_guest_workload",

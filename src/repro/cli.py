@@ -78,6 +78,11 @@ def _cmd_run(args) -> int:
     keys: List[str] = (
         list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
+    profiler = None
+    if getattr(args, "profile", False):
+        import cProfile
+
+        profiler = cProfile.Profile()
     for key in keys:
         fn = EXPERIMENTS.get(key)
         if fn is None:
@@ -85,7 +90,11 @@ def _cmd_run(args) -> int:
                   file=sys.stderr)
             return 2
         quick = getattr(args, "quick", False) and key in QUICK_AWARE
+        if profiler is not None:
+            profiler.enable()
         result = fn(quick=True) if quick else fn()
+        if profiler is not None:
+            profiler.disable()
         if getattr(args, "json", False):
             # Machine-readable: one metrics manifest per experiment.
             print(json.dumps(result.manifest(), indent=2))
@@ -96,6 +105,35 @@ def _cmd_run(args) -> int:
                 print()
                 print(result.raw[extra].render())
         print()
+    if profiler is not None:
+        import pstats
+
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print("--- cProfile (top 25 by cumulative time) ---", file=sys.stderr)
+        stats.print_stats(25)
+    return 0
+
+
+def _cmd_perf(args) -> int:
+    from repro.bench.host_throughput import run_host_throughput
+
+    result = run_host_throughput(quick=args.quick)
+    result.write(args.out)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        print(f"\nwrote {args.out}")
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = result.check_baseline(baseline)
+        if failures:
+            for failure in failures:
+                print(f"perf regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline})", file=sys.stderr)
     return 0
 
 
@@ -150,6 +188,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--json", action="store_true",
                        help="emit the run's metrics manifest as JSON "
                             "instead of tables")
+    run_p.add_argument("--profile", action="store_true",
+                       help="dump a cProfile report (top 25 by cumulative "
+                            "time) to stderr after the run")
+
+    perf_p = sub.add_parser(
+        "perf", help="measure host throughput (guest-MIPS, interp vs jit)"
+    )
+    perf_p.add_argument("--quick", action="store_true",
+                        help="small CI-friendly workloads")
+    perf_p.add_argument("--out", default="BENCH_HOST.json",
+                        help="output JSON path (default BENCH_HOST.json)")
+    perf_p.add_argument("--json", action="store_true",
+                        help="print the JSON payload instead of the table")
+    perf_p.add_argument("--baseline",
+                        help="baseline JSON; exit 1 if any speedup ratio "
+                             "regresses more than 20%% below it")
 
     boot_p = sub.add_parser("boot", help="boot NanoOS with a workload")
     boot_p.add_argument("--mode", default="hw-nested")
@@ -160,6 +214,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "perf":
+        return _cmd_perf(args)
     return _cmd_boot(args)
 
 

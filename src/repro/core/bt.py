@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 from repro.core.emulate import emulate_privileged
 from repro.core.vcpu import VCPU
 from repro.cpu.interp import TrapInfo
+from repro.cpu.jit import compile_bt_block
 from repro.cpu.isa import Cause, Instruction, MODE_KERNEL, Op
 from repro.mem.costs import CostModel
 from repro.mem.paging import AccessType
@@ -67,6 +68,9 @@ class TranslatedBlock:
     start_va: int
     items: List[Tuple[str, Instruction]]  # ("native" | "callout", ins)
     code_gfns: Set[int] = field(default_factory=set)
+    #: Fused host closure for the item list (compiled lazily on first
+    #: execution; cleared when the cost model changes).
+    fn: Optional[Callable] = None
 
     @property
     def num_instructions(self) -> int:
@@ -84,6 +88,7 @@ class BTEngine:
         hypercall_handler: Optional[Callable[[VCPU, int], None]] = None,
         cache_enabled: bool = True,
         chaining_enabled: bool = True,
+        compile_enabled: bool = True,
     ):
         self.vcpu = vcpu
         self.costs = costs
@@ -91,10 +96,14 @@ class BTEngine:
         self.hypercall_handler = hypercall_handler
         self.cache_enabled = cache_enabled
         self.chaining_enabled = chaining_enabled
+        #: When True, blocks execute as fused host closures; False keeps
+        #: the per-item reference walk (the correctness oracle).
+        self.compile_enabled = compile_enabled
 
         self._cache: Dict[Tuple[Optional[int], int], TranslatedBlock] = {}
         self._chains: Set[Tuple[int, int]] = set()
         self._gfn_blocks: Dict[int, Set[Tuple[Optional[int], int]]] = {}
+        self._costs_sig = self._cost_signature()
 
     # -- public API ------------------------------------------------------
 
@@ -110,6 +119,11 @@ class BTEngine:
         cpu = self.vcpu.cpu
         start_cycles = cpu.cycles
         prev_block_va: Optional[int] = None
+        sig = self._cost_signature()
+        if sig != self._costs_sig:
+            self._costs_sig = sig
+            for cached in self._cache.values():
+                cached.fn = None  # closures bake costs in; recompile
         while (
             self.vcpu.virtual_mode == MODE_KERNEL and not self.vcpu.halted
         ):
@@ -144,10 +158,20 @@ class BTEngine:
     def invalidate_gfn(self, gfn: int) -> None:
         """Drop translations backed by a guest frame (self-modifying or
         re-used code pages)."""
-        for key in self._gfn_blocks.pop(gfn, set()):
+        keys = self._gfn_blocks.pop(gfn, None)
+        if not keys:
+            return
+        for key in keys:
             self._cache.pop(key, None)
-        # Conservatively drop chains; they are rebuilt cheaply.
-        self._chains.clear()
+        # Drop only chains touching an invalidated block's entry point
+        # (as predecessor or successor); unrelated links keep their
+        # free-dispatch status instead of being rebuilt from scratch.
+        dropped = {key[1] for key in keys}
+        self._chains = {
+            link
+            for link in self._chains
+            if link[0] not in dropped and link[1] not in dropped
+        }
 
     def flush(self) -> None:
         self._cache.clear()
@@ -159,6 +183,15 @@ class BTEngine:
         return len(self._cache)
 
     # -- internals -------------------------------------------------------
+
+    def _cost_signature(self) -> Tuple[int, int, int, int]:
+        c = self.costs
+        return (
+            c.instr_cycles,
+            c.mul_extra_cycles,
+            c.div_extra_cycles,
+            c.bt_callout_cycles,
+        )
 
     def _key(self, va: int) -> Tuple[Optional[int], int]:
         mmu = self.vcpu.cpu.mmu
@@ -194,6 +227,17 @@ class BTEngine:
         return TranslatedBlock(start_va=va, items=items, code_gfns=code_gfns)
 
     def _execute_block(self, block: TranslatedBlock) -> None:
+        if not self.compile_enabled:
+            self._execute_block_interp(block)
+            return
+        fn = block.fn
+        if fn is None:
+            fn = block.fn = compile_bt_block(self, block)
+        fn(self.vcpu.cpu)
+
+    def _execute_block_interp(self, block: TranslatedBlock) -> None:
+        """Reference per-item walk; the oracle the fused closures must
+        match cycle-for-cycle (see tests/test_cpu_jit.py)."""
         cpu = self.vcpu.cpu
         costs = self.costs
         for kind, ins in block.items:

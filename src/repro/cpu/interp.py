@@ -17,7 +17,8 @@ With ``policy=None`` the core is exactly a bare machine; this is the
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from itertools import islice
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.cpu.exits import ExitReason, VMExit
 from repro.cpu.isa import (
@@ -30,7 +31,7 @@ from repro.cpu.isa import (
     PUBLIC_CSRS,
     decode,
 )
-from repro.cpu.mmu import MMUBase
+from repro.cpu.mmu import BareMMU, MMUBase
 from repro.mem.costs import CostModel
 from repro.mem.paging import AccessType, PageFault
 from repro.util.errors import GuestError
@@ -39,6 +40,11 @@ from repro.util.errors import GuestError
 NATIVE = object()
 #: Sentinel returned by policy hooks meaning "event fully handled".
 HANDLED = object()
+
+#: Decode-cache sizing: evict the oldest ``_DECODE_EVICT`` entries once
+#: the cache passes ``_DECODE_CACHE_MAX`` instead of dropping everything.
+_DECODE_CACHE_MAX = 65536
+_DECODE_EVICT = 8192
 
 _READONLY_CSRS = frozenset(
     {int(CSR.MODE), int(CSR.CYCLES), int(CSR.INSTRET), int(CSR.CPUID)}
@@ -123,6 +129,7 @@ class CPUCore:
         costs: Optional[CostModel] = None,
         port_bus=None,
         cpu_id: int = 0,
+        jit: Optional[bool] = None,
     ):
         self.mmu = mmu
         self.costs = costs or CostModel()
@@ -139,6 +146,19 @@ class CPUCore:
         self.halted = False
 
         self._decode_cache: Dict[Tuple[int, int], Instruction] = {}
+        #: pfn -> decode-cache keys living in that frame (for targeted
+        #: invalidation when a store lands on cached code).
+        self._decode_frames: Dict[int, Set[Tuple[int, int]]] = {}
+        #: Frames holding cached decodes and/or compiled blocks; the
+        #: physmem write watcher fires :meth:`_on_code_write` for these.
+        self._code_pfns: Set[int] = set()
+        #: True/False = explicit; None = default on. The compiled path
+        #: additionally requires a plain BareMMU and no policy.
+        self.jit_enabled = True if jit is None else jit
+        self._jit = None  # lazily: BlockJIT, or False if unsupported
+        physmem = getattr(mmu, "physmem", None)
+        if physmem is not None and hasattr(physmem, "watch_writes"):
+            physmem.watch_writes(self._code_pfns, self._on_code_write)
 
     # -- architectural helpers ----------------------------------------------
 
@@ -260,10 +280,50 @@ class CPUCore:
         if cached is not None and cached.imm32 == (imm_word & 0xFFFFFFFF):
             return cached
         ins = decode(word, imm_word)
-        if len(self._decode_cache) > 65536:
-            self._decode_cache.clear()
+        if len(self._decode_cache) > _DECODE_CACHE_MAX:
+            self._evict_decode_entries()
         self._decode_cache[key] = ins
+        pfn = pa >> 12
+        frames = self._decode_frames.get(pfn)
+        if frames is None:
+            frames = self._decode_frames[pfn] = set()
+            self._code_pfns.add(pfn)
+        frames.add(key)
         return ins
+
+    def _evict_decode_entries(self) -> None:
+        """Drop the oldest decode entries (dict preserves insert order)."""
+        cache = self._decode_cache
+        frames = self._decode_frames
+        for key in list(islice(iter(cache), _DECODE_EVICT)):
+            del cache[key]
+            pfn = key[0] >> 12
+            keys = frames.get(pfn)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del frames[pfn]
+                    self._unwatch_pfn_if_unused(pfn)
+
+    def _unwatch_pfn_if_unused(self, pfn: int) -> None:
+        if pfn in self._decode_frames:
+            return
+        jit = self._jit
+        if jit and pfn in jit._frame_keys:
+            return
+        self._code_pfns.discard(pfn)
+
+    def _on_code_write(self, pfn: int) -> None:
+        """Physmem write watcher: a store landed on cached code."""
+        keys = self._decode_frames.pop(pfn, None)
+        if keys:
+            cache = self._decode_cache
+            for key in keys:
+                cache.pop(key, None)
+        jit = self._jit
+        if jit:
+            jit.invalidate_pfn(pfn)
+        self._code_pfns.discard(pfn)
 
     # -- execution -------------------------------------------------------------
 
@@ -348,7 +408,110 @@ class CPUCore:
         max_instructions: Optional[int] = None,
         max_cycles: Optional[int] = None,
     ) -> RunResult:
-        """Run until halt, a limit, or a VM exit."""
+        """Run until halt, a limit, or a VM exit.
+
+        Dispatches to the compiled-block engine when it can reproduce
+        the reference semantics bit-for-bit (plain BareMMU, no policy,
+        no cycle budget); otherwise runs the reference interpreter loop.
+        """
+        if self.jit_enabled and max_cycles is None and self.policy is None:
+            jit = self._jit
+            if jit is None:
+                jit = self._jit_setup()
+            if jit:
+                return self._run_compiled(jit, max_instructions)
+        return self._run_interp(max_instructions, max_cycles)
+
+    def _jit_setup(self):
+        """Probe once whether this core supports compiled blocks."""
+        if type(self.mmu) is BareMMU:
+            from repro.cpu.jit import BlockJIT
+
+            self._jit = BlockJIT(self)
+        else:
+            self._jit = False
+        return self._jit
+
+    def _run_compiled(self, jit, max_instructions: Optional[int]) -> RunResult:
+        """Block-at-a-time loop; falls back to :meth:`step` per slow case."""
+        jit.check_costs()
+        start_instr = self.instret
+        start_cycles = self.cycles
+        limit = max_instructions
+        lookup = jit.lookup
+        step = self.step
+        csr = self.csr
+        ie = int(CSR.IE)
+        while True:
+            if self.halted:
+                if csr[ie] and self.pending_irqs:
+                    self.halted = False
+                else:
+                    return RunResult(
+                        StopReason.HALT,
+                        self.instret - start_instr,
+                        self.cycles - start_cycles,
+                    )
+            try:
+                if csr[ie] and self.pending_irqs:
+                    if limit is not None and (
+                        self.instret - start_instr >= limit
+                    ):
+                        return RunResult(
+                            StopReason.INSTR_LIMIT,
+                            self.instret - start_instr,
+                            self.cycles - start_cycles,
+                        )
+                    step()
+                    continue
+                if limit is None:
+                    blk = lookup(self.pc)
+                    if blk is None:
+                        step()
+                    else:
+                        blk[0](self)
+                else:
+                    done = self.instret - start_instr
+                    if done >= limit:
+                        return RunResult(
+                            StopReason.INSTR_LIMIT,
+                            done,
+                            self.cycles - start_cycles,
+                        )
+                    blk = lookup(self.pc)
+                    if blk is None or blk[1] > limit - done:
+                        step()
+                    else:
+                        blk[0](self)
+            except VMExit as exit_:
+                return RunResult(
+                    StopReason.VMEXIT,
+                    self.instret - start_instr,
+                    self.cycles - start_cycles,
+                    exit=exit_,
+                )
+
+    def jit_stats(self) -> Dict[str, int]:
+        """Host-compiler counters (all zero when the JIT never engaged)."""
+        stats = {
+            "enabled": int(self.jit_enabled),
+            "active": int(bool(self._jit)),
+            "decode_cache_entries": len(self._decode_cache),
+            "blocks_compiled": 0,
+            "blocks_invalidated": 0,
+            "fallback_steps": 0,
+            "blocks_cached": 0,
+        }
+        if self._jit:
+            stats.update(self._jit.stats())
+        return stats
+
+    def _run_interp(
+        self,
+        max_instructions: Optional[int] = None,
+        max_cycles: Optional[int] = None,
+    ) -> RunResult:
+        """The reference interpreter loop (the correctness oracle)."""
         start_instr = self.instret
         start_cycles = self.cycles
         while True:

@@ -1,0 +1,584 @@
+"""Host-side block compiler: guest basic blocks become Python closures.
+
+The interpreter pays a per-instruction host tax -- fetch, two dict
+probes, an ``Op`` dispatch chain -- for every simulated instruction.
+This module applies the binary-translation idea one level down: decode a
+guest basic block **once**, then emit a single specialized Python
+function for it with operands, immediates and dispatch resolved at
+compile time. Constant cycle charges (fetch hit, base instruction cost,
+MUL/DIV extras) are pre-summed per block; only dynamic MMU charges are
+accumulated at run time.
+
+Correctness contract (enforced by the differential tests): simulated
+``cycles``/``instret``/register/CSR state, TLB statistics and TLB LRU
+order are **bit-identical** to the reference interpreter. Anything the
+straight-line fast path cannot reproduce exactly -- traps, page faults,
+VM exits, self-modifying code, TLB eviction of the executing code page,
+instruction-budget boundaries -- restores the precise architectural
+boundary state and either delivers the trap exactly as the interpreter
+would or falls back to :meth:`CPUCore.step`.
+
+Two consumers:
+
+* :class:`BlockJIT` -- per-core engine behind ``CPUCore.run()``. Blocks
+  are keyed by *physical* start address (content-addressed), validated
+  against physmem write watchers (self-modifying code) and a per-page
+  EXEC-translation memo guarded by the TLB epoch (so ``set_root``,
+  ``invlpg``, flushes and evictions all stop the fast path until the
+  next successful re-probe).
+* :func:`compile_bt_block` -- fuses a :class:`TranslatedBlock`'s item
+  list (native runs inlined, callouts as captured calls) so the binary
+  translator stops re-walking its tag list on every execution.
+"""
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cpu.isa import Cause, DecodeError, Instruction, Op, decode
+from repro.cpu.mmu import BareMMU
+from repro.mem.paging import AccessType, PageFault
+from repro.util.errors import MemoryError_
+
+__all__ = ["BlockJIT", "compile_bt_block"]
+
+#: Maximum instructions fused into one compiled block.
+MAX_BLOCK_INSTRUCTIONS = 32
+
+_MEM_OPS = frozenset({Op.LD, Op.ST, Op.LDB, Op.STB})
+_STORE_OPS = frozenset({Op.ST, Op.STB})
+_TERMINATORS = frozenset(
+    {Op.JAL, Op.JALR, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
+)
+_BRANCH_COND = {
+    Op.BEQ: ("==", False),
+    Op.BNE: ("!=", False),
+    Op.BLT: ("<", True),
+    Op.BGE: (">=", True),
+    Op.BLTU: ("<", False),
+    Op.BGEU: (">=", False),
+}
+
+#: Negative-cache marker for "starts with something we cannot compile".
+_UNCOMPILABLE: Tuple = ()
+
+
+def _sgn(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+def _r(index: int) -> str:
+    """Register read expression; r0 folds to the literal 0."""
+    return "0" if index == 0 else f"regs[{index}]"
+
+
+def _addr_expr(ins: Instruction) -> str:
+    if ins.ra == 0:
+        return str(ins.simm12 & 0xFFFFFFFF)
+    return f"(regs[{ins.ra}] + {ins.simm12}) & 0xFFFFFFFF"
+
+
+def _alu_expr(op: Op, ins: Instruction) -> str:
+    """Expression for a pure ALU result (DIVU/REMU handled by caller)."""
+    a = _r(ins.ra)
+    is_imm, b = ins.operand_b
+    bx = str(b) if is_imm else _r(b)
+    if op is Op.ADD:
+        return f"({a} + {bx}) & 0xFFFFFFFF"
+    if op is Op.SUB:
+        return f"({a} - {bx}) & 0xFFFFFFFF"
+    if op is Op.MUL:
+        return f"({a} * {bx}) & 0xFFFFFFFF"
+    if op is Op.AND:
+        return f"{a} & {bx}"
+    if op is Op.OR:
+        return f"{a} | {bx}"
+    if op is Op.XOR:
+        return f"{a} ^ {bx}"
+    if op is Op.SHL:
+        sh = str(b & 31) if is_imm else f"({bx} & 31)"
+        return f"({a} << {sh}) & 0xFFFFFFFF"
+    if op is Op.SHR:
+        sh = str(b & 31) if is_imm else f"({bx} & 31)"
+        return f"{a} >> {sh}"
+    if op is Op.SAR:
+        sh = str(b & 31) if is_imm else f"({bx} & 31)"
+        return f"(_sgn({a}) >> {sh}) & 0xFFFFFFFF"
+    if op is Op.SLT:
+        bs = str(_sgn(b)) if is_imm else f"_sgn({bx})"
+        return f"(1 if _sgn({a}) < {bs} else 0)"
+    if op is Op.SLTU:
+        return f"(1 if {a} < {bx} else 0)"
+    if op is Op.MOV:
+        return a
+    if op is Op.MOVI:
+        return str(ins.imm32)
+    raise AssertionError(f"not a pure ALU op: {op}")
+
+
+class _Src:
+    """Indented source accumulator."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def emit(self, depth: int, text: str) -> None:
+        self.lines.append("    " * depth + text)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def _item_const_cycles(costs, kind: str, ins: Instruction, fetch_c: int) -> int:
+    """Compile-time-known cycle charge for one block item."""
+    if kind == "callout":
+        return costs.bt_callout_cycles
+    c = costs.instr_cycles + fetch_c
+    if ins.op is Op.MUL:
+        c += costs.mul_extra_cycles
+    elif ins.op in (Op.DIVU, Op.REMU):
+        c += costs.div_extra_cycles
+    return c
+
+
+def _compile_items(
+    costs,
+    items: List[Tuple[str, Instruction, int]],
+    *,
+    layer: str,  # "cpu" | "bt"
+    paging: bool = False,
+    vpn: int = 0,
+    epoch_cell: Optional[list] = None,
+    callout: Optional[Callable[[Instruction], bool]] = None,
+) -> Callable:
+    """Generate and compile one block closure from classified items.
+
+    ``items`` is a list of ("native" | "callout", instruction, va); the
+    cycle/instret/trap semantics produced are bit-identical to the
+    reference paths (``CPUCore.step`` / ``BTEngine._execute_block``).
+    """
+    n = len(items)
+    track_tlb = layer == "cpu" and paging
+    fetch_c = costs.tlb_hit_cycles if track_tlb else 0
+
+    pre = [0]
+    reta: List[int] = []  # retired instruction count *after* item k
+    retired = 0
+    for kind, ins, _va in items:
+        pre.append(pre[-1] + _item_const_cycles(costs, kind, ins, fetch_c))
+        if kind == "native":
+            retired += 1
+        reta.append(retired)
+
+    has_mem = any(
+        k == "native" and i.op in _MEM_OPS for k, i, _ in items
+    )
+    has_store = any(
+        k == "native" and i.op in _STORE_OPS for k, i, _ in items
+    )
+    has_div_reg = any(
+        k == "native" and i.op in (Op.DIVU, Op.REMU) and not i.has_imm32
+        for k, i, _ in items
+    )
+    has_callout = any(k == "callout" for k, i, _ in items)
+    guarded = has_mem  # only memory accesses can raise mid-block
+    snapshot = guarded or has_div_reg or has_callout
+    smc_check = layer == "cpu" and has_store
+
+    src = _Src()
+    src.emit(0, "def _block(cpu):")
+    src.emit(1, "regs = cpu.regs")
+    if track_tlb:
+        src.emit(1, "te = cpu.mmu.tlb")
+        src.emit(1, "st = te.stats")
+        src.emit(1, "mv = te._entries.move_to_end")
+        if has_mem:
+            src.emit(1, "ep0 = te.epoch")
+    if smc_check:
+        src.emit(1, "j0 = _jw[0]")
+    # With callouts in the block, monitor emulation could in principle
+    # change the real MODE csr mid-block, so the user flag for translate
+    # must be read live instead of hoisted.
+    u_expr = "u"
+    if has_mem:
+        if layer == "bt" or paging:
+            src.emit(1, "mmu = cpu.mmu")
+            src.emit(1, "tr = mmu.translate")
+            if has_callout:
+                u_expr = "cpu.csr[0] == 1"
+            else:
+                src.emit(1, "u = cpu.csr[0] == 1")
+            src.emit(1, "pm = mmu.physmem")
+        else:
+            src.emit(1, "pm = cpu.mmu.physmem")
+        ops_used = {i.op for k, i, _ in items if k == "native"}
+        if Op.LD in ops_used:
+            src.emit(1, "r32 = pm.read_u32")
+        if Op.ST in ops_used:
+            src.emit(1, "w32 = pm.write_u32")
+        if Op.LDB in ops_used:
+            src.emit(1, "r8 = pm.read_u8")
+        if Op.STB in ops_used:
+            src.emit(1, "w8 = pm.write_u8")
+    if snapshot:
+        src.emit(1, "c0 = cpu.cycles")
+        src.emit(1, "i0 = cpu.instret")
+        src.emit(1, "mc = 0")
+    if guarded:
+        src.emit(1, "_n = -1")
+        src.emit(1, "try:")
+    depth = 2 if guarded else 1
+
+    def counters(d: int, j: int, ret: int, mv_mode: Optional[str]) -> None:
+        """Commit cycles/instret (+TLB fetch stats) at boundary ``j``."""
+        if snapshot:
+            src.emit(d, f"cpu.cycles = c0 + {pre[j]} + mc")
+            src.emit(d, f"cpu.instret = i0 + {ret}")
+        else:
+            src.emit(d, f"cpu.cycles += {pre[j]}")
+            src.emit(d, f"cpu.instret += {ret}")
+        if track_tlb:
+            src.emit(d, f"st.hits += {j}")
+            if mv_mode == "plain":
+                src.emit(d, f"mv({vpn})")
+            elif mv_mode == "guarded":
+                src.emit(d, f"if {vpn} in te._entries:")
+                src.emit(d + 1, f"mv({vpn})")
+
+    for k, (kind, ins, va) in enumerate(items):
+        op = ins.op
+        nxt = (va + ins.length) & 0xFFFFFFFF
+        last = k == n - 1
+
+        if kind == "callout":
+            src.emit(depth, f"cpu.cycles = c0 + {pre[k + 1]} + mc")
+            src.emit(depth, f"cpu.instret = i0 + {reta[k]}")
+            src.emit(depth, f"cpu.pc = {va}")
+            if guarded:
+                src.emit(depth, "_n = -1")
+            if last:
+                # The callout (emulation / reflection / IRET) leaves pc
+                # and cycles in their final architectural state.
+                src.emit(depth, f"_co(_I[{k}])")
+                src.emit(depth, "return")
+            else:
+                src.emit(depth, f"if _co(_I[{k}]):")
+                src.emit(depth + 1, "return")
+                src.emit(depth, f"mc = cpu.cycles - c0 - {pre[k + 1]}")
+            continue
+
+        if op in _MEM_OPS:
+            src.emit(depth, f"_n = {k}")
+            if track_tlb:
+                src.emit(depth, f"mv({vpn})")
+            addr = _addr_expr(ins)
+            is_store = op in _STORE_OPS
+            if layer == "bt" or paging:
+                at = "_AW" if is_store else "_AR"
+                src.emit(depth, f"_a, _c = tr({addr}, {at}, {u_expr})")
+                src.emit(depth, "mc += _c")
+                loc = "_a"
+            else:
+                loc = addr
+            if op is Op.LD:
+                tgt = f"regs[{ins.rd}] = " if ins.rd else ""
+                src.emit(depth, f"{tgt}r32({loc})")
+            elif op is Op.LDB:
+                tgt = f"regs[{ins.rd}] = " if ins.rd else ""
+                src.emit(depth, f"{tgt}r8({loc})")
+            elif op is Op.ST:
+                src.emit(depth, f"w32({loc}, {_r(ins.rb)})")
+            else:
+                src.emit(depth, f"w8({loc}, {_r(ins.rb)} & 0xFF)")
+            # Re-validate the fast-path assumptions the interpreter
+            # re-establishes on every fetch: the EXEC translation may
+            # have been evicted/changed (TLB epoch) and stores may have
+            # hit compiled code (jit epoch). Bail at the exact boundary.
+            conds = []
+            if track_tlb:
+                conds.append("te.epoch != ep0")
+            if is_store and smc_check:
+                conds.append("_jw[0] != j0")
+            if conds and not last:
+                src.emit(depth, f"if {' or '.join(conds)}:")
+                counters(depth + 1, k + 1, reta[k], None)
+                src.emit(depth + 1, f"cpu.pc = {nxt}")
+                src.emit(depth + 1, "return")
+            continue
+
+        if op in (Op.DIVU, Op.REMU) and not ins.has_imm32:
+            src.emit(depth, f"_b = {_r(ins.rb)}")
+            src.emit(depth, "if not _b:")
+            counters(depth + 1, k + 1, reta[k], "guarded" if track_tlb else None)
+            src.emit(depth + 1, f"cpu.pc = {va}")
+            src.emit(depth + 1, f"cpu._trap(_DIV0, 0, {va})")
+            src.emit(depth + 1, "return")
+            if ins.rd:
+                sym = "//" if op is Op.DIVU else "%"
+                src.emit(depth, f"regs[{ins.rd}] = {_r(ins.ra)} {sym} _b")
+            continue
+
+        if op in (Op.DIVU, Op.REMU):  # immediate divisor, known nonzero
+            if ins.rd:
+                sym = "//" if op is Op.DIVU else "%"
+                src.emit(depth, f"regs[{ins.rd}] = {_r(ins.ra)} {sym} {ins.imm32}")
+            continue
+
+        if op in _TERMINATORS:
+            mv_mode = "plain" if track_tlb else None
+            counters(depth, n, reta[-1], mv_mode)
+            if op is Op.JAL:
+                if ins.rd:
+                    src.emit(depth, f"regs[{ins.rd}] = {nxt}")
+                src.emit(depth, f"cpu.pc = {ins.imm32}")
+            elif op is Op.JALR:
+                src.emit(depth, f"_t = {_r(ins.ra)}")
+                if ins.rd:
+                    src.emit(depth, f"regs[{ins.rd}] = {nxt}")
+                src.emit(depth, "cpu.pc = _t")
+            else:
+                sym, signed = _BRANCH_COND[op]
+                a, b = _r(ins.ra), _r(ins.rb)
+                if signed:
+                    a, b = f"_sgn({a})", f"_sgn({b})"
+                src.emit(
+                    depth,
+                    f"cpu.pc = {ins.imm32} if {a} {sym} {b} else {nxt}",
+                )
+            src.emit(depth, "return")
+            continue
+
+        # Pure ALU / moves.
+        if op is Op.NOP or ins.rd == 0:
+            continue
+        src.emit(depth, f"regs[{ins.rd}] = {_alu_expr(op, ins)}")
+
+    # Fall-through block end (size/page limit, or trailing non-stop
+    # callout which already left pc == end va).
+    last_kind, last_ins, _last_va = items[-1]
+    if not (last_kind == "native" and last_ins.op in _TERMINATORS):
+        if last_kind == "callout":
+            pass  # everything committed around the callout
+        else:
+            end_va = (items[-1][2] + items[-1][1].length) & 0xFFFFFFFF
+            mv_mode = (
+                "plain"
+                if track_tlb and last_ins.op not in _MEM_OPS
+                else None
+            )
+            counters(depth, n, reta[-1], mv_mode)
+            src.emit(depth, f"cpu.pc = {end_va}")
+            src.emit(depth, "return")
+
+    if guarded:
+        hit_fix = "st.hits += _n + 1" if track_tlb else None
+        for handler, tail in (
+            (
+                "except _PF as f:",
+                f"cpu._trap(_PFW if f.access is _AW else _PFR, "
+                f"f.vaddr, _V[_n], _I[_n])",
+            ),
+            ("except BaseException:", "raise"),
+        ):
+            src.emit(1, handler)
+            src.emit(2, "if _n < 0:")
+            src.emit(3, "raise")
+            src.emit(2, "cpu.cycles = c0 + _P[_n + 1] + mc")
+            src.emit(2, "cpu.instret = i0 + _RA[_n]")
+            if hit_fix:
+                src.emit(2, hit_fix)
+                src.emit(2, f"if {vpn} in te._entries:")
+                src.emit(3, f"mv({vpn})")
+            src.emit(2, "cpu.pc = _V[_n]")
+            src.emit(2, tail)
+            if tail != "raise":
+                src.emit(2, "return")
+
+    ns: Dict[str, object] = {
+        "_P": tuple(pre),
+        "_V": tuple(va for _, _, va in items),
+        "_I": tuple(ins for _, ins, _ in items),
+        "_RA": tuple(reta),
+        "_PF": PageFault,
+        "_AW": AccessType.WRITE,
+        "_AR": AccessType.READ,
+        "_PFW": Cause.PF_WRITE,
+        "_PFR": Cause.PF_READ,
+        "_DIV0": Cause.DIV0,
+        "_sgn": _sgn,
+        "_jw": epoch_cell,
+        "_co": callout,
+    }
+    exec(compile(src.text(), "<pyvisor-jit>", "exec"), ns)  # noqa: S102
+    return ns["_block"]  # type: ignore[return-value]
+
+
+def compile_bt_block(engine, block) -> Callable:
+    """Fuse a :class:`~repro.core.bt.TranslatedBlock` into one closure.
+
+    Semantics are bit-identical to ``BTEngine._execute_block``: natives
+    charge ``instr_cycles`` (+ALU extras) and execute inline; callouts
+    charge ``bt_callout_cycles`` and call ``engine._callout`` with
+    cycles/instret/pc committed, so emulation sees live state.
+    """
+    items: List[Tuple[str, Instruction, int]] = []
+    va = block.start_va
+    for kind, ins in block.items:
+        items.append((kind, ins, va))
+        va = (va + ins.length) & 0xFFFFFFFF
+    return _compile_items(
+        engine.costs, items, layer="bt", callout=engine._callout
+    )
+
+
+class BlockJIT:
+    """Per-core compiled-block cache behind ``CPUCore.run()``.
+
+    Supported only over :class:`BareMMU` (native machines); virtualized
+    MMUs conservatively stay on the reference interpreter. Blocks are
+    keyed ``(pa, va, paging)`` -- content-addressed by physical start so
+    a root switch never runs stale code -- and dropped when a physmem
+    write watcher reports a store into their frame. The EXEC-translation
+    memo (``(vpn, user) -> pa_base``) is revalidated against the TLB
+    epoch, which advances on flush / invlpg / eviction / PTE change.
+    """
+
+    def __init__(self, cpu) -> None:
+        self.cpu = cpu
+        self.mmu: BareMMU = cpu.mmu
+        self.physmem = cpu.mmu.physmem
+        self._blocks: Dict[Tuple[int, int, bool], Tuple] = {}
+        self._frame_keys: Dict[int, Set[Tuple[int, int, bool]]] = {}
+        self._memo: Dict[Tuple[int, bool], Tuple[int, int]] = {}
+        self._epoch_cell = [0]
+        self._costs_sig = self._sig()
+        self.blocks_compiled = 0
+        self.blocks_invalidated = 0
+        self.fallback_steps = 0
+
+    # -- bookkeeping -----------------------------------------------------
+
+    def _sig(self) -> Tuple[int, int, int, int]:
+        c = self.cpu.costs
+        return (
+            c.instr_cycles,
+            c.mul_extra_cycles,
+            c.div_extra_cycles,
+            c.tlb_hit_cycles,
+        )
+
+    def check_costs(self) -> None:
+        """Drop compiled code if the cost model changed since compile."""
+        sig = self._sig()
+        if sig != self._costs_sig:
+            self._costs_sig = sig
+            self.flush()
+
+    def flush(self) -> None:
+        self._blocks.clear()
+        self._frame_keys.clear()
+        self._memo.clear()
+        self._epoch_cell[0] += 1
+
+    def invalidate_pfn(self, pfn: int) -> None:
+        """A store hit a frame with compiled code: drop its blocks."""
+        keys = self._frame_keys.pop(pfn, None)
+        if not keys:
+            return
+        blocks = self._blocks
+        for key in keys:
+            if blocks.pop(key, None):
+                self.blocks_invalidated += 1
+        self._epoch_cell[0] += 1
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "blocks_compiled": self.blocks_compiled,
+            "blocks_invalidated": self.blocks_invalidated,
+            "fallback_steps": self.fallback_steps,
+            "blocks_cached": len(self._blocks),
+        }
+
+    # -- dispatch --------------------------------------------------------
+
+    def lookup(self, pc: int) -> Optional[Tuple]:
+        """Return ``(closure, n_instructions)`` for ``pc``, or None.
+
+        None means "take one reference-interpreter step": EXEC
+        translation not memoizable right now (TLB miss -- the step will
+        walk and refill), or the block starts with something the
+        compiler does not handle (system ops, page-straddling code).
+        """
+        mmu = self.mmu
+        if mmu.paging_enabled:
+            user = self.cpu.csr[0] == 1
+            vpn = pc >> 12
+            tlb = mmu.tlb
+            memo_key = (vpn, user)
+            m = self._memo.get(memo_key)
+            if m is None or m[1] != tlb.epoch:
+                pte = tlb.peek(vpn, AccessType.EXEC, user)
+                if pte is None:
+                    self.fallback_steps += 1
+                    return None
+                m = ((pte >> 12) << 12, tlb.epoch)
+                if len(self._memo) > 4096:
+                    self._memo.clear()
+                self._memo[memo_key] = m
+            pa = m[0] | (pc & 0xFFF)
+            key = (pa, pc, True)
+        else:
+            pa = pc & 0xFFFFFFFF
+            key = (pa, pc, False)
+        blk = self._blocks.get(key)
+        if blk is None:
+            blk = self._compile(key, pa, pc, key[2])
+        if not blk:
+            self.fallback_steps += 1
+            return None
+        return blk
+
+    def _compile(self, key, pa: int, va: int, paging: bool) -> Tuple:
+        physmem = self.physmem
+        items: List[Tuple[str, Instruction, int]] = []
+        off = va & 0xFFF
+        cursor_pa, cursor_va = pa, va
+        try:
+            while len(items) < MAX_BLOCK_INSTRUCTIONS and off + 4 <= 0x1000:
+                word = physmem.read_u32(cursor_pa)
+                has_imm = bool((word >> 24) & 0x80)
+                length = 8 if has_imm else 4
+                if off + length > 0x1000:
+                    break  # straddles the page: interpreter handles it
+                imm_word = physmem.read_u32(cursor_pa + 4) if has_imm else 0
+                ins = decode(word, imm_word)
+                op = ins.op
+                if op.value > Op.BGEU.value:
+                    break  # system ops take the reference path
+                if op in (Op.DIVU, Op.REMU) and ins.has_imm32 and not ins.imm32:
+                    break  # constant DIV0 always traps: reference path
+                items.append(("native", ins, cursor_va))
+                off += length
+                cursor_pa += length
+                cursor_va = (cursor_va + length) & 0xFFFFFFFF
+                if op in _TERMINATORS:
+                    break
+        except (DecodeError, MemoryError_):
+            pass  # undecodable/unmapped tail: block ends before it
+        if items:
+            fn = _compile_items(
+                self.cpu.costs,
+                items,
+                layer="cpu",
+                paging=paging,
+                vpn=va >> 12,
+                epoch_cell=self._epoch_cell,
+            )
+            blk: Tuple = (fn, len(items))
+            self.blocks_compiled += 1
+        else:
+            blk = _UNCOMPILABLE
+        self._blocks[key] = blk
+        pfn = pa >> 12
+        self._frame_keys.setdefault(pfn, set()).add(key)
+        self.cpu._code_pfns.add(pfn)
+        return blk

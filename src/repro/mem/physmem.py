@@ -1,7 +1,7 @@
 """Byte-addressable physical memory and the frame allocator."""
 
 import struct
-from typing import List, Optional
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.util.errors import MemoryError_
 from repro.util.units import PAGE_SHIFT, PAGE_SIZE
@@ -26,6 +26,28 @@ class PhysicalMemory:
         self.size = nbytes
         self.num_frames = nbytes >> PAGE_SHIFT
         self._data = bytearray(nbytes)
+        #: Write watchers: (watched pfn set, callback(pfn)). The caller
+        #: owns and mutates the set; the callback fires after any store
+        #: that touches a watched frame. CPU cores use this to invalidate
+        #: decode-cache entries and compiled blocks on code-page writes.
+        self._watchers: List[Tuple[Set[int], Callable[[int], None]]] = []
+
+    def watch_writes(
+        self, frames: Set[int], callback: Callable[[int], None]
+    ) -> None:
+        """Register a write watcher over ``frames`` (a live, caller-owned set)."""
+        self._watchers.append((frames, callback))
+
+    def _notify(self, pa: int, length: int) -> None:
+        first = pa >> PAGE_SHIFT
+        last = (pa + length - 1) >> PAGE_SHIFT
+        for frames, callback in self._watchers:
+            if first in frames:
+                callback(first)
+            if last != first:
+                for pfn in range(first + 1, last + 1):
+                    if pfn in frames:
+                        callback(pfn)
 
     # -- scalar access ----------------------------------------------------
 
@@ -36,6 +58,8 @@ class PhysicalMemory:
     def write_u8(self, pa: int, value: int) -> None:
         self._check(pa, 1)
         self._data[pa] = value & 0xFF
+        if self._watchers:
+            self._notify(pa, 1)
 
     def read_u32(self, pa: int) -> int:
         self._check(pa, 4)
@@ -44,6 +68,8 @@ class PhysicalMemory:
     def write_u32(self, pa: int, value: int) -> None:
         self._check(pa, 4)
         _U32.pack_into(self._data, pa, value & 0xFFFFFFFF)
+        if self._watchers:
+            self._notify(pa, 4)
 
     # -- bulk access --------------------------------------------------------
 
@@ -54,6 +80,8 @@ class PhysicalMemory:
     def write_bytes(self, pa: int, data: bytes) -> None:
         self._check(pa, len(data))
         self._data[pa : pa + len(data)] = data
+        if self._watchers and data:
+            self._notify(pa, len(data))
 
     def read_frame(self, pfn: int) -> bytes:
         return self.read_bytes(pfn << PAGE_SHIFT, PAGE_SIZE)
@@ -67,6 +95,8 @@ class PhysicalMemory:
         base = pfn << PAGE_SHIFT
         self._check(base, PAGE_SIZE)
         self._data[base : base + PAGE_SIZE] = b"\x00" * PAGE_SIZE
+        if self._watchers:
+            self._notify(base, PAGE_SIZE)
 
     def frame_fingerprint(self, pfn: int) -> int:
         """Cheap content hash of one frame (used by the sharing scanner)."""

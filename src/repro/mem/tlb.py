@@ -58,6 +58,11 @@ class TLB:
         self.capacity = capacity
         self._entries: "OrderedDict[int, int]" = OrderedDict()  # vpn -> pte
         self.stats = TLBStats()
+        #: Bumped whenever a cached translation disappears or changes
+        #: (flush, invalidation, eviction, PTE update). Fast paths that
+        #: memoize a translation snapshot the epoch and revalidate with
+        #: one integer compare instead of a full lookup.
+        self.epoch = 0
 
     def lookup(self, vpn: int, access: AccessType, user: bool) -> Optional[int]:
         """Return the cached PTE if present and permitting; else None (miss).
@@ -86,26 +91,51 @@ class TLB:
         self.stats.hits += 1
         return pte
 
+    def peek(self, vpn: int, access: AccessType, user: bool) -> Optional[int]:
+        """Like :meth:`lookup` but with **no side effects**.
+
+        Does not count a hit or miss and does not refresh LRU order, so
+        callers (the block-compiler's fetch memo) can probe the TLB
+        without perturbing the simulated replacement behaviour.
+        """
+        pte = self._entries.get(vpn)
+        if pte is None:
+            return None
+        if user and not pte & PTE_USER:
+            return None
+        if access is AccessType.WRITE and (
+            not pte & PTE_WRITABLE or not pte & PTE_DIRTY
+        ):
+            return None
+        if access is AccessType.EXEC and pte & PTE_NOEXEC:
+            return None
+        return pte
+
     def insert(self, vpn: int, pte: int) -> None:
         """Cache a translation, evicting LRU if full."""
         if vpn in self._entries:
             self._entries.move_to_end(vpn)
+            if self._entries[vpn] != pte:
+                self.epoch += 1
             self._entries[vpn] = pte
             return
         if len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
+            self.epoch += 1
         self._entries[vpn] = pte
 
     def invalidate(self, vpn: int) -> None:
         """Drop one translation (INVLPG)."""
         if self._entries.pop(vpn, None) is not None:
             self.stats.invalidations += 1
+            self.epoch += 1
 
     def flush(self) -> None:
         """Drop everything (page-table base switch)."""
         self.stats.flushes += 1
         self._entries.clear()
+        self.epoch += 1
 
     def __len__(self) -> int:
         return len(self._entries)

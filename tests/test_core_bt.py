@@ -148,3 +148,80 @@ def test_flush_clears_everything():
     hv.run(vm, max_guest_instructions=200_000)
     vm.bt.flush()
     assert vm.bt.cached_blocks == 0
+
+
+TWO_PAGE = """
+    li a0, 50
+outer:
+    call far             ; far lives in the next guest frame (gfn 2)
+    sub a0, a0, 1
+    bnez a0, outer
+    li a0, 1
+    out 0xf0, a0
+    hlt
+    .space 4096
+far:
+    add a1, a1, 1
+    ret
+"""
+
+
+def test_unrelated_invalidation_keeps_chains():
+    """invalidate_gfn must only drop chains touching the invalidated
+    frame's blocks -- not every chain in the engine (regression)."""
+    hv = Hypervisor(memory_bytes=64 * MIB)
+    vm = bt_vm(hv)
+    prog = Assembler().assemble(".org 0x1000\n" + TWO_PAGE)
+    hv.load_program(vm, prog)
+    hv.reset_vcpu(vm, 0x1000)
+    # Stop mid-loop: everything is translated and chained by now.
+    outcome = hv.run(vm, max_guest_instructions=100)
+    assert outcome is RunOutcome.INSTR_LIMIT
+
+    blocks_before = vm.bt.cached_blocks
+    chains_before = set(vm.bt._chains)
+    assert blocks_before > 0 and chains_before
+
+    # Invalidate the frame holding only `far`; gfn-1 blocks and the
+    # chains that link them must survive untouched.
+    vm.bt.invalidate_gfn(2)
+    assert 0 < vm.bt.cached_blocks < blocks_before
+    surviving = set(vm.bt._chains)
+    assert surviving  # chained dispatch in gfn 1 still wired up
+    assert surviving <= chains_before
+    for src_va, dst_va in surviving:
+        assert src_va >> 12 != 2 and dst_va >> 12 != 2
+
+    # A frame with no translations at all is a strict no-op.
+    blocks_now, chains_now = vm.bt.cached_blocks, set(vm.bt._chains)
+    vm.bt.invalidate_gfn(7)
+    assert vm.bt.cached_blocks == blocks_now
+    assert set(vm.bt._chains) == chains_now
+
+    # Resuming after the partial invalidation retranslates `far` and
+    # finishes the remaining iterations correctly.
+    outcome = hv.run(vm, max_guest_instructions=200_000)
+    assert outcome is RunOutcome.SHUTDOWN
+    assert vm.vcpus[0].cpu.regs[2] == 50  # far ran 50 times in total
+
+
+@pytest.mark.parametrize("src", [BASIC, TWO_PAGE], ids=["basic", "two_page"])
+def test_fused_blocks_match_item_interpreter(src):
+    """Closure-fused translated blocks must be cycle-exact with the
+    per-item reference walk."""
+    states = []
+    for fused in (False, True):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = bt_vm(hv)
+        vm.bt.compile_enabled = fused
+        prog = Assembler().assemble(".org 0x1000\n" + src)
+        hv.load_program(vm, prog)
+        hv.reset_vcpu(vm, 0x1000)
+        outcome = hv.run(vm, max_guest_instructions=200_000)
+        cpu = vm.vcpus[0].cpu
+        states.append((
+            outcome, cpu.cycles, cpu.instret, cpu.pc,
+            tuple(cpu.regs), tuple(cpu.csr), tuple(vm.vcpus[0].vcsr),
+            vm.stats.bt_callouts, vm.stats.bt_chained,
+        ))
+    assert states[0] == states[1]
