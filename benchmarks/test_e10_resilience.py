@@ -1,6 +1,6 @@
 """E10: fault injection, detection, and recovery."""
 
-from repro.bench import run_e10
+from repro.bench import run_e10, run_e10_cascade
 
 
 def test_e10_resilience(benchmark, show):
@@ -36,3 +36,37 @@ def test_e10_resilience(benchmark, show):
     assert len(report.recovered) == fo["stranded"]
     assert not report.lost
     assert fo["all_on_survivors"]
+
+
+def test_e10_cascade_sweep(benchmark, show):
+    result = benchmark.pedantic(run_e10_cascade, iterations=1, rounds=1)
+    show(result)
+    raw = result.raw
+    ks = sorted(raw["baseline"])
+
+    # The same seeded cascade replayed twice lands identically.
+    assert raw["deterministic"]
+
+    for k in ks:
+        base, prot = raw["baseline"][k], raw["protected"][k]
+        # N+1 admission control refused part of the tail up front...
+        assert prot["admitted"] < base["admitted"]
+        assert prot["rejected"] and not base["rejected"]
+        # ...and every recovery run reached a verified quiescent state
+        # despite the mid-recovery cascade.
+        assert base["report"].verified and prot["report"].verified
+        assert base["report"].cascade_failures
+        assert prot["report"].cascade_failures
+
+    # The headline: anti-affinity + N+1 reservation strictly dominates
+    # the unconstrained baseline on admitted VMs lost at every k >= 2.
+    assert raw["dominates"]
+    for k in ks:
+        if k >= 2:
+            assert raw["protected"][k]["lost"] < raw["baseline"][k]["lost"]
+
+    # Rack-spread keeps every service up through a single-rack-scale
+    # event; the packed baseline loses whole services.
+    base1, prot1 = raw["baseline"][1], raw["protected"][1]
+    assert prot1["availability"] > base1["availability"]
+    assert prot1["availability"] == 1.0

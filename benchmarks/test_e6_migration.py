@@ -1,6 +1,6 @@
 """E6 (Figure 6): live migration curves + functional pre-copy."""
 
-from repro.bench import run_e6, run_e6_functional
+from repro.bench import run_e6, run_e6_faults, run_e6_functional
 
 
 def test_e6_migration_curves(benchmark, show):
@@ -43,3 +43,41 @@ def test_e6_functional_live_migration(benchmark, show):
     assert mig.rounds > 1
     assert mig.round_sizes[0] > 100 * mig.round_sizes[-1]
     assert mig.guest_instructions_during > 0
+
+
+def test_e6_fault_curves(benchmark, show):
+    result = benchmark.pedantic(run_e6_faults, iterations=1, rounds=1)
+    show(result)
+    raw = result.raw
+    drops = sorted(k for k in raw if isinstance(k, int))
+    policy = raw["retry_policy"]
+
+    # Threading a retry policy with no injector must not perturb the
+    # model: the zero-drop point is bit-identical to the plain run.
+    assert raw["fault_free_identical"]
+
+    # Below the retry budget every drop is absorbed: one retry per
+    # drop, capped-exponential backoff, and the migration still lands.
+    for n in drops:
+        res = raw[n]["result"]
+        assert raw[n]["deterministic"]  # seeded replay is byte-stable
+        if 0 < n <= policy.max_retries:
+            assert res.retries == n
+            assert res.backoff_us == policy.cumulative_backoff_cycles(n)
+            assert res.stalls == 1
+            assert not res.gave_up and res.downtime_us > 0
+
+    # Past the budget the migration is abandoned: guest stays on the
+    # source, so no downtime is charged.
+    over = [n for n in drops if n > policy.max_retries]
+    assert over, "sweep must cross the retry budget"
+    for n in over:
+        res = raw[n]["result"]
+        assert res.gave_up and not res.converged
+        assert res.retries == policy.max_retries
+        assert res.downtime_us == 0
+
+    # Total time grows with absorbed drops (burned wire time + backoff).
+    absorbed = [raw[n]["result"].total_time_us
+                for n in drops if n <= policy.max_retries]
+    assert absorbed == sorted(absorbed)

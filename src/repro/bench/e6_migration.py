@@ -11,11 +11,17 @@ Hines VEE'09).
 VM mid-workload and reports round sizes and correctness.
 """
 
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
-from repro.bench.common import ExperimentResult, GUEST_MEMORY, HOST_MEMORY
+from repro.bench.common import (
+    ExperimentResult,
+    GUEST_MEMORY,
+    HOST_MEMORY,
+    new_run_registry,
+)
 from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
 from repro.core.hypervisor import RunOutcome
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
 from repro.guest import KernelOptions, build_kernel, read_diag, workloads
 from repro.guest.workloads import expected_memtouch
 from repro.migration import (
@@ -129,3 +135,89 @@ def run_e6_functional(
         True,
     )
     return ExperimentResult("E6-functional", table, raw={"result": result})
+
+
+#: Seed for the E6 fault-curve sweep; independent of E10's so the two
+#: experiments' injection schedules never couple.
+E6_FAULT_SEED = 2203
+
+
+def _drop_plan(drops: int) -> FaultPlan:
+    """Pin exactly ``drops`` stream drops (plus one round stall)."""
+    specs = [FaultSpec("migrate.link_drop", rate=1.0, after=0, count=drops)]
+    if drops:
+        # One source-side hiccup early on, so the stall path is
+        # exercised alongside the drop/retry path.
+        specs.append(FaultSpec("migrate.round_stall", rate=1.0, after=0,
+                               count=1))
+    return FaultPlan(seed=E6_FAULT_SEED, specs=specs)
+
+
+def run_e6_faults(
+    drop_counts: Sequence[int] = (0, 1, 2, 4, 6, 8),
+    dirty_rate: float = 8000.0,
+    vm_pages: int = 131072,
+) -> ExperimentResult:
+    """E6-faults: the pre-copy retry/giveup curve under injected drops.
+
+    Sweeps a pinned number of consecutive ``migrate.link_drop`` firings
+    against a fixed :class:`RetryPolicy` budget. Below the budget the
+    migrator backs off and resumes (total time grows by the burned
+    serialization time plus backoff); past it the migration is
+    abandoned with the guest still on the source (``gave up``). Every
+    faulted point is run twice from the same seed and must replay to a
+    byte-identical injection trace and an identical result
+    (``deterministic``); the zero-drop point must be bit-identical to
+    the fault-free model (``fault-free identical`` in ``raw``).
+    """
+    policy = RetryPolicy(max_retries=6)
+    registry = new_run_registry()
+    mig_scope = registry.scope("migration")
+    faults_scope = registry.scope("faults")
+    cfg = MigrationConfig(vm_pages=vm_pages, dirty_rate_pps=dirty_rate)
+
+    baseline = simulate_precopy(cfg, _fresh_link())
+    plain = simulate_precopy(cfg, _fresh_link(), metrics=mig_scope,
+                             retry_policy=policy)
+    fault_free_identical = plain == baseline
+
+    raw: Dict[int, Dict[str, object]] = {}
+    table = Table(
+        "E6-faults: pre-copy vs pinned stream drops "
+        f"(512 MiB, {dirty_rate:.0f} dirty pages/s, retry budget "
+        f"{policy.max_retries}, seed={E6_FAULT_SEED})",
+        ["drops", "retries", "backoff ms", "stalls", "total s",
+         "downtime ms", "rounds", "gave up", "deterministic"],
+    )
+    for drops in drop_counts:
+        if drops == 0:
+            raw[0] = {
+                "result": plain,
+                "deterministic": fault_free_identical,
+                "trace_bytes": b"",
+            }
+            table.add_row(0, 0, 0.0, 0, plain.total_time_us / 1e6,
+                          plain.downtime_us / 1000.0, plain.rounds,
+                          False, fault_free_identical)
+            continue
+        inj = FaultInjector(_drop_plan(drops), metrics=faults_scope)
+        res = simulate_precopy(cfg, _fresh_link(), metrics=mig_scope,
+                               injector=inj, retry_policy=policy)
+        replay_inj = FaultInjector(_drop_plan(drops))
+        replay = simulate_precopy(cfg, _fresh_link(), injector=replay_inj,
+                                  retry_policy=policy)
+        deterministic = (res == replay
+                         and inj.trace_bytes() == replay_inj.trace_bytes())
+        raw[drops] = {
+            "result": res,
+            "deterministic": deterministic,
+            "trace_bytes": inj.trace_bytes(),
+        }
+        table.add_row(drops, res.retries, res.backoff_us / 1000.0,
+                      res.stalls, res.total_time_us / 1e6,
+                      res.downtime_us / 1000.0, res.rounds, res.gave_up,
+                      deterministic)
+    result = ExperimentResult("E6-faults", table, raw=raw, metrics=registry)
+    result.raw["fault_free_identical"] = fault_free_identical
+    result.raw["retry_policy"] = policy
+    return result

@@ -21,6 +21,7 @@ from repro.bench import (
     run_e4,
     run_e5,
     run_e6,
+    run_e6_faults,
     run_e6_functional,
     run_e7,
     run_e7_functional,
@@ -28,6 +29,7 @@ from repro.bench import (
     run_e9_bt,
     run_e9_exit_cost,
     run_e10,
+    run_e10_cascade,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -38,16 +40,18 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e5": run_e5,
     "e6": run_e6,
     "e6f": run_e6_functional,
+    "e6x": run_e6_faults,
     "e7": run_e7,
     "e7f": run_e7_functional,
     "e8": run_e8,
     "e9a": run_e9_exit_cost,
     "e9b": run_e9_bt,
     "e10": run_e10,
+    "e10c": run_e10_cascade,
 }
 
 #: Experiments accepting a ``quick`` kwarg (smaller, CI-friendly run).
-QUICK_AWARE = {"e10"}
+QUICK_AWARE = {"e10", "e10c"}
 
 MODES = {
     "native": (None, None, False),

@@ -14,12 +14,20 @@ Models a fleet of physical hosts running many VMs:
   consolidation-savings report;
 * :mod:`repro.cluster.balancer` -- threshold-driven load balancing via
   live migrations costed by :mod:`repro.migration.model` over a shared
-  management link.
+  management link;
+* :mod:`repro.cluster.resilience` -- the failure-domain-aware control
+  plane (experiment E10): anti-affinity/N+1-constrained placement and
+  the detect→evacuate→re-place→verify loop that survives cascading
+  host crashes under continuous fault injection.
 """
 
 from repro.cluster.host import HostSpec, VMSpec, Host, Placement
 from repro.cluster.placement import (
+    AdmissionError,
+    ConstraintSet,
+    EvacuationConfig,
     PlacementPolicy,
+    RELAX_ORDER,
     FailoverReport,
     failover,
     first_fit,
@@ -27,7 +35,9 @@ from repro.cluster.placement import (
     worst_fit,
     place,
     plan_consolidation,
+    reservation_satisfied,
 )
+from repro.cluster.resilience import ResilienceController, ResilienceReport
 from repro.cluster.interference import host_performance, HostPerformance
 from repro.cluster.power import PowerModel, ConsolidationSavings, consolidation_savings
 from repro.cluster.balancer import LoadBalancer, BalanceReport
@@ -43,8 +53,15 @@ __all__ = [
     "VMSpec",
     "Host",
     "Placement",
+    "AdmissionError",
+    "ConstraintSet",
+    "EvacuationConfig",
     "PlacementPolicy",
+    "RELAX_ORDER",
     "FailoverReport",
+    "ResilienceController",
+    "ResilienceReport",
+    "reservation_satisfied",
     "failover",
     "first_fit",
     "best_fit",

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 from repro.cluster.host import Host, Placement, VMSpec
+from repro.cluster.placement import ConstraintSet
 from repro.migration.model import MigrationConfig, simulate_precopy
 from repro.obs.clock import SimClock
 from repro.obs.registry import MetricsRegistry
@@ -55,6 +56,7 @@ class LoadBalancer:
         low_watermark: float = 0.70,
         max_migrations: int = 32,
         dirty_rate_pps: float = 2000.0,
+        constraints: Optional[ConstraintSet] = None,
         metrics=None,
     ):
         if not 0 < low_watermark <= high_watermark <= 1.5:
@@ -64,6 +66,10 @@ class LoadBalancer:
         self.low = low_watermark
         self.max_migrations = max_migrations
         self.dirty_rate_pps = dirty_rate_pps
+        #: Anti-affinity constraints; unlike placement/failover the
+        #: balancer never relaxes them -- rebalancing is an
+        #: optimization, so a move that would break spread is skipped.
+        self.constraints = constraints
         #: ``cluster.balancer.*``: passes, migrations, time moved.
         self.metrics = (metrics if metrics is not None else
                         MetricsRegistry(clock=SimClock(link.sim)).scope(
@@ -117,11 +123,29 @@ class LoadBalancer:
             if h is not source
             and h.fits(vm)
             and (h.cpu_demand + vm.cpu_demand) / h.spec.cpu_capacity <= self.low
+            and self._spread_ok(vm, h, placement)
         ]
         if not targets:
             return None
         target = min(targets, key=lambda h: h.cpu_demand / h.spec.cpu_capacity)
         return vm, source, target
+
+    def _spread_ok(self, vm: VMSpec, target: Host,
+                   placement: Placement) -> bool:
+        """Strict (never-relaxed) anti-affinity check for one move."""
+        if self.constraints is None:
+            return True
+        peers = self.constraints.peers_of(vm.name)
+        if not peers:
+            return True
+        in_domain = sum(
+            1
+            for h in placement.hosts
+            if h.alive and h.domain == target.domain
+            for name in h.vms
+            if name in peers
+        )
+        return in_domain < self.constraints.max_per_domain
 
     def _migrate(self, vm: VMSpec):
         cfg = MigrationConfig(

@@ -19,6 +19,9 @@ class HostSpec:
     memory_bytes: int = 16 * GIB
     idle_watts: float = 120.0
     peak_watts: float = 280.0
+    #: Failure domain (rack / power feed): hosts sharing a domain are
+    #: assumed to fail together. Per-host override via ``Host(domain=)``.
+    failure_domain: str = "fd0"
 
     def validate(self) -> None:
         if self.cores <= 0 or self.cpu_capacity <= 0:
@@ -52,11 +55,15 @@ class Host:
     placements = counter_attr()
     crashes = counter_attr()
 
-    def __init__(self, spec: HostSpec, index: int, metrics=None):
+    def __init__(self, spec: HostSpec, index: int, metrics=None,
+                 domain: Optional[str] = None):
         spec.validate()
         self.spec = spec
         self.index = index
         self.name = f"{spec.name}-{index}"
+        #: Failure domain this host lives in; hosts of one shared spec
+        #: can still land in different racks via the ``domain`` override.
+        self.domain = domain if domain is not None else spec.failure_domain
         #: ``cluster.host.<name>.*``; pass a shared scope to aggregate a
         #: whole cluster into one registry.
         self.metrics = (metrics if metrics is not None else
@@ -66,15 +73,22 @@ class Host:
 
     # -- failure model -------------------------------------------------------
 
-    def fail(self) -> None:
+    def fail(self) -> bool:
         """Whole-host crash: the host stops accepting placements.
+
+        Idempotent: failing an already-dead host changes nothing and
+        does not inflate the crash counter (cascade sweeps poll hosts
+        repeatedly). Returns whether the host's state changed.
 
         Its VMs stay listed as stranded until
         :func:`repro.cluster.placement.failover` drains them onto
         survivors.
         """
+        if not self.alive:
+            return False
         self.alive = False
         self.crashes += 1
+        return True
 
     def maybe_crash(self, injector) -> bool:
         """Evaluate the ``host.crash`` fault site; True if this host died."""
@@ -134,6 +148,9 @@ class Placement:
     """A full assignment of VMs to hosts."""
 
     hosts: List[Host] = field(default_factory=list)
+    #: VM name -> relax level for placements that could not honor the
+    #: strict anti-affinity constraints (see placement.RELAX_ORDER).
+    relaxations: Dict[str, str] = field(default_factory=dict)
 
     @property
     def hosts_used(self) -> int:
@@ -148,6 +165,15 @@ class Placement:
             if vm_name in host.vms:
                 return host
         return None
+
+    @property
+    def domains(self) -> List[str]:
+        """Sorted unique failure domains across all hosts."""
+        return sorted({h.domain for h in self.hosts})
+
+    def domain_of(self, vm_name: str) -> Optional[str]:
+        host = self.host_of(vm_name)
+        return host.domain if host is not None else None
 
     def utilization_stats(self) -> List[float]:
         return [h.cpu_utilization for h in self.hosts if h.vms]

@@ -21,10 +21,16 @@ Known sites (subsystems may define more; unplanned sites never fire):
 ``link.partition``        link goes down for ``partition_ticks``
 ``migration.xfer_drop``   migration stream breaks mid-batch (retry/backoff)
 ``migration.page_corrupt``page corrupted in flight; checksum verify catches it
+``migrate.link_drop``     DES pre-copy model: a round's transfer attempt dies
+                          partway (backoff-resend, giveup past the budget)
+``migrate.round_stall``   DES pre-copy model / live migrator: a copy round
+                          stalls; the stall time dirties pages
+``host.crash``            whole cluster host fails (recovered by failover;
+                          the ResilienceController polls it *between*
+                          evacuation moves, so failovers can cascade)
 ``vcpu.stall``            hypervisor-layer wedge: the vCPU stops retiring
                           instructions (detected by the guest-progress
                           watchdog, recovered by micro-reboot)
-``host.crash``            whole cluster host fails (recovered by failover)
 ========================  ====================================================
 """
 

@@ -45,6 +45,16 @@ class RetryPolicy:
         return min(self.backoff_cap_cycles,
                    self.backoff_base_cycles << (attempt - 1))
 
+    def cumulative_backoff_cycles(self, attempts: int) -> int:
+        """Total backoff spent across retries 1..``attempts``.
+
+        The worst case (``attempts == max_retries``) is the budget a
+        giveup curve charges before abandoning a transfer.
+        """
+        if attempts < 0:
+            raise ConfigError("attempts must be non-negative")
+        return sum(self.backoff_cycles(a) for a in range(1, attempts + 1))
+
 
 class MicroRebooter:
     """Per-hypervisor micro-reboot service with periodic checkpoints.

@@ -54,6 +54,10 @@ class LiveMigrationResult:
     retries: int = 0
     backoff_cycles: int = 0
     corrupt_pages_detected: int = 0
+    #: ``migrate.round_stall`` firings (source hiccups between rounds)
+    #: and the cycles they burned.
+    stalls: int = 0
+    stall_cycles: int = 0
 
 
 class LiveMigrator:
@@ -140,6 +144,7 @@ class LiveMigrator:
         source_outcome = None
         stats: Dict[str, int] = {
             "retries": 0, "backoff_cycles": 0, "corrupt_pages": 0,
+            "stalls": 0, "stall_cycles": 0,
         }
 
         try:
@@ -160,6 +165,15 @@ class LiveMigrator:
                     break  # guest finished/idle: nothing more will dirty
                 if len(dirty) <= threshold_pages:
                     break
+                if self.injector is not None and self.injector.fires(
+                    "migrate.round_stall"
+                ):
+                    # Source hiccup: the round stalls for one backoff
+                    # quantum; time burns, the guest keeps dirtying.
+                    stall = self.retry_policy.backoff_cycles(1)
+                    stats["stalls"] += 1
+                    stats["stall_cycles"] += stall
+                    transfer_cycles += stall
                 batch = sorted(g for g in dirty if vm.guest_mem.is_mapped(g))
                 with self._span("migration.round", vm=vm.name, round=rounds):
                     sent = self._send_with_retry(vm, dst_vm, deque(batch),
@@ -198,6 +212,8 @@ class LiveMigrator:
         m.counter("retries").inc(stats["retries"])
         m.counter("backoff_cycles").inc(stats["backoff_cycles"])
         m.counter("corrupt_pages").inc(stats["corrupt_pages"])
+        if stats["stalls"]:
+            m.counter("stalls").inc(stats["stalls"])
         m.observe("downtime_cycles", downtime)
 
         return LiveMigrationResult(
@@ -213,6 +229,8 @@ class LiveMigrator:
             retries=stats["retries"],
             backoff_cycles=stats["backoff_cycles"],
             corrupt_pages_detected=stats["corrupt_pages"],
+            stalls=stats["stalls"],
+            stall_cycles=stats["stall_cycles"],
         )
 
     # -- internals ----------------------------------------------------------

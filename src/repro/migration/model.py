@@ -8,6 +8,14 @@ with class write rate w over n pages is ``n * (1 - exp(-w t / n))`` --
 re-dirtying a hot page is free, which is exactly why pre-copy converges
 for moderate dirty rates and blows up when the dirty rate approaches
 the link's page rate (Clark et al., NSDI'05).
+
+Pre-copy additionally models transport faults when given a
+:class:`~repro.faults.injector.FaultInjector`: ``migrate.link_drop``
+(stream dies mid-round; capped-exponential backoff and resend, giving
+up once the :class:`~repro.faults.recovery.RetryPolicy` budget is
+spent) and ``migrate.round_stall`` (a round stalls; the stall dirties
+pages like any elapsed time). Without an injector the model is
+bit-identical to its fault-free form.
 """
 
 import enum
@@ -15,7 +23,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Generator, List, Optional
 
-from repro.sim.kernel import SEC, Simulator
+from repro.faults.recovery import RetryPolicy
+from repro.sim.kernel import SEC, Simulator, Timeout
 from repro.sim.link import NetworkLink
 from repro.util.errors import MigrationError
 from repro.util.units import KIB, PAGE_SIZE
@@ -69,6 +78,16 @@ class MigrationResult:
     degraded_time_us: int = 0
     converged: bool = True
     round_sizes: List[int] = field(default_factory=list)
+    #: Fault-injection outcomes (``migrate.link_drop`` retries under the
+    #: RetryPolicy, ``migrate.round_stall`` stalls); all zero/False on a
+    #: fault-free run.
+    retries: int = 0
+    backoff_us: int = 0
+    stalls: int = 0
+    stall_us: int = 0
+    #: True when the retry budget was exhausted and the migration was
+    #: abandoned with the guest still on the source.
+    gave_up: bool = False
 
 
 def unique_pages_dirtied(cfg: MigrationConfig, interval_us: int) -> int:
@@ -100,6 +119,18 @@ def _record(metrics, result: MigrationResult) -> None:
     scope.counter("rounds").inc(result.rounds)
     scope.observe("total_time_us", result.total_time_us)
     scope.observe("downtime_us", result.downtime_us)
+    # Fault-path counters register only when faults actually fired, so
+    # fault-free manifests keep their pre-fault schema.
+    if result.retries:
+        scope.counter("retries").inc(result.retries)
+    if result.stalls:
+        scope.counter("stalls").inc(result.stalls)
+    if result.gave_up:
+        scope.counter("gave_up").inc()
+
+
+class _GiveUp(Exception):
+    """Internal: the retry budget for one transfer is exhausted."""
 
 
 def simulate_precopy(
@@ -107,11 +138,55 @@ def simulate_precopy(
     link: NetworkLink,
     sim: Optional[Simulator] = None,
     metrics=None,
+    injector=None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> MigrationResult:
-    """Iterative pre-copy: rounds of (transfer, re-dirty) then stop-copy."""
+    """Iterative pre-copy: rounds of (transfer, re-dirty) then stop-copy.
+
+    Fault sites (evaluated only when an ``injector`` is supplied, so
+    fault-free runs are bit-identical to the pre-fault model):
+
+    * ``migrate.link_drop`` -- one opportunity per transfer attempt;
+      a firing burns a deterministic fraction of the attempt's
+      serialization time, then the migrator backs off per
+      ``retry_policy`` and resends the round. Exhausting the budget
+      abandons the migration (``gave_up=True``, guest stays on the
+      source, no downtime is charged).
+    * ``migrate.round_stall`` -- one opportunity per pre-copy round;
+      a firing stalls the round (source hiccup), and the stall time
+      dirties pages like any other elapsed time.
+    """
     cfg.validate()
     if sim is None:
         sim = link.sim
+    rp = retry_policy if retry_policy is not None else RetryPolicy()
+    stats = {"retries": 0, "backoff_us": 0, "stalls": 0, "stall_us": 0}
+
+    def attempt_transfer(nbytes):
+        """Transfer with drop-retry; returns (result, wasted_us)."""
+        attempt = 0
+        wasted = 0
+        while True:
+            if injector is not None and injector.fires("migrate.link_drop"):
+                burn = int(
+                    link.transmission_time(nbytes)
+                    * (0.25 + 0.5 * injector.uniform("migrate.link_drop"))
+                )
+                if burn > 0:
+                    yield Timeout(burn)
+                wasted += burn
+                attempt += 1
+                if attempt > rp.max_retries:
+                    raise _GiveUp()
+                stats["retries"] += 1
+                backoff = rp.backoff_cycles(attempt)
+                stats["backoff_us"] += backoff
+                wasted += backoff
+                if backoff > 0:
+                    yield Timeout(backoff)
+                continue
+            result = yield from link.transfer(nbytes)
+            return result, wasted
 
     def process():
         start = sim.now
@@ -120,12 +195,46 @@ def simulate_precopy(
         rounds = 0
         round_sizes = []
         converged = True
+
+        def abandoned():
+            return MigrationResult(
+                technique="precopy",
+                total_time_us=sim.now - start,
+                downtime_us=0,  # the guest never paused: it never left
+                pages_sent=pages_sent,
+                rounds=rounds,
+                converged=False,
+                round_sizes=round_sizes,
+                retries=stats["retries"],
+                backoff_us=stats["backoff_us"],
+                stalls=stats["stalls"],
+                stall_us=stats["stall_us"],
+                gave_up=True,
+            )
+
         while True:
-            result = yield from link.transfer(to_send * PAGE_SIZE)
+            stalled = 0
+            if injector is not None and injector.fires("migrate.round_stall"):
+                stalled = int(
+                    link.transmission_time(to_send * PAGE_SIZE)
+                    * (0.25 + 0.5 * injector.uniform("migrate.round_stall"))
+                )
+                if stalled > 0:
+                    yield Timeout(stalled)
+                stats["stalls"] += 1
+                stats["stall_us"] += stalled
+            try:
+                result, wasted = yield from attempt_transfer(
+                    to_send * PAGE_SIZE
+                )
+            except _GiveUp:
+                return abandoned()
             pages_sent += to_send
             rounds += 1
             round_sizes.append(to_send)
-            dirtied = unique_pages_dirtied(cfg, result.duration)
+            dirtied = unique_pages_dirtied(
+                cfg, result.duration + wasted + stalled
+            )
             stop = False
             if cfg.stop_policy is PreCopyStopPolicy.THRESHOLD:
                 stop = dirtied <= cfg.threshold_pages
@@ -137,10 +246,15 @@ def simulate_precopy(
             if cfg.stop_policy is PreCopyStopPolicy.DIMINISHING and dirtied > 0.9 * to_send and rounds > 1:
                 converged = dirtied <= cfg.threshold_pages
             if stop:
-                # Stop the VM, ship the residue plus the CPU state.
-                down = yield from link.transfer(
-                    dirtied * PAGE_SIZE + cfg.cpu_state_bytes
-                )
+                # Stop the VM, ship the residue plus the CPU state. A
+                # drop here resumes the guest on the source during the
+                # backoff, so only the successful attempt is downtime.
+                try:
+                    down, _ = yield from attempt_transfer(
+                        dirtied * PAGE_SIZE + cfg.cpu_state_bytes
+                    )
+                except _GiveUp:
+                    return abandoned()
                 pages_sent += dirtied
                 round_sizes.append(dirtied)
                 return MigrationResult(
@@ -151,6 +265,10 @@ def simulate_precopy(
                     rounds=rounds,
                     converged=converged,
                     round_sizes=round_sizes,
+                    retries=stats["retries"],
+                    backoff_us=stats["backoff_us"],
+                    stalls=stats["stalls"],
+                    stall_us=stats["stall_us"],
                 )
             to_send = dirtied
 

@@ -406,4 +406,7 @@ def test_failover_reports_lost_vms_when_survivors_are_full():
     hosts[0].fail()
     report = failover(placement)
     assert len(report.lost) == 2 and not report.recovered
-    assert placement.host_of(report.lost[0]) is None
+    # lost keeps the full spec (not just the name) so a controller can
+    # retry placement once capacity returns.
+    assert all(isinstance(vm, VMSpec) for vm in report.lost)
+    assert placement.host_of(report.lost[0].name) is None
