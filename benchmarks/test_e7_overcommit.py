@@ -34,3 +34,24 @@ def test_e7_functional_page_sharing(benchmark, show):
     # the runner asserted both guests still compute correct results.
     assert result.raw["frames_freed"] > 2000
     assert result.raw["cow_breaks"] > 0
+
+
+def test_e7_controller_closed_loop(benchmark, show):
+    from repro.bench import run_e7_controller
+
+    result = benchmark.pedantic(run_e7_controller, kwargs={"quick": True},
+                                iterations=1, rounds=1)
+    show(result)
+    raw = result.raw
+    # The closed loop must strictly dominate swap-only on worst-case
+    # guest-visible cycles at every overcommit ratio, replay an
+    # identical tick log, and replay pinned faults byte-for-byte.
+    assert raw["dominates_all"]
+    assert raw["deterministic"]
+    assert raw["fault_replay_identical"]
+    for n, case in raw.items():
+        if not isinstance(n, int):
+            continue
+        # Balloon + sharing reclaim everything; swap stays idle.
+        assert case["controller"]["swap_ins"] == 0
+        assert case["swap_only"]["swap_ins"] > 0

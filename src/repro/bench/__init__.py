@@ -13,7 +13,11 @@ from repro.bench.e3_tlb import run_e3
 from repro.bench.e4_io import run_e4
 from repro.bench.e5_sched import run_e5
 from repro.bench.e6_migration import run_e6, run_e6_faults, run_e6_functional
-from repro.bench.e7_overcommit import run_e7, run_e7_functional
+from repro.bench.e7_overcommit import (
+    run_e7,
+    run_e7_controller,
+    run_e7_functional,
+)
 from repro.bench.e8_consolidation import run_e8
 from repro.bench.e9_ablation import run_e9_exit_cost, run_e9_bt
 from repro.bench.e10_resilience import run_e10, run_e10_cascade
@@ -35,6 +39,7 @@ __all__ = [
     "run_e6_faults",
     "run_e6_functional",
     "run_e7",
+    "run_e7_controller",
     "run_e7_functional",
     "run_e8",
     "run_e9_exit_cost",

@@ -24,6 +24,7 @@ from repro.bench import (
     run_e6_faults,
     run_e6_functional,
     run_e7,
+    run_e7_controller,
     run_e7_functional,
     run_e8,
     run_e9_bt,
@@ -43,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e6x": run_e6_faults,
     "e7": run_e7,
     "e7f": run_e7_functional,
+    "e7c": run_e7_controller,
     "e8": run_e8,
     "e9a": run_e9_exit_cost,
     "e9b": run_e9_bt,
@@ -51,7 +53,7 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 #: Experiments accepting a ``quick`` kwarg (smaller, CI-friendly run).
-QUICK_AWARE = {"e10", "e10c"}
+QUICK_AWARE = {"e10", "e10c", "e7c"}
 
 MODES = {
     "native": (None, None, False),
@@ -186,7 +188,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_p = sub.add_parser("run", help="regenerate experiment tables")
     run_p.add_argument("experiment",
-                       help="e1..e10, e6f/e7f (functional), or 'all'")
+                       help="e1..e10, e6f/e7f/e7c (functional), or 'all'")
     run_p.add_argument("--quick", action="store_true",
                        help="smaller, CI-friendly variant where supported")
     run_p.add_argument("--json", action="store_true",

@@ -17,7 +17,7 @@ inside HVM guests.
 """
 
 import enum
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.bt import BTEngine
 from repro.core.emulate import emulate_guest_store, emulate_privileged
@@ -127,12 +127,24 @@ class Hypervisor:
         #: Per-VM dirty-page callbacks (registered by live migration):
         #: called with (vm, gfn) on each dirty-log exit.
         self.dirty_handlers: Dict[str, Callable] = {}
-        #: Optional hook for EPT faults on unbacked-but-known gfns
-        #: (host swap-in, post-copy fetch): (vm, gfn, access) -> None,
-        #: must leave the gfn mapped.
-        self.ept_fault_hook: Optional[Callable] = None
-        #: Installed by repro.overcommit.sharing.PageSharer: routes
-        #: write faults on shared frames to copy-on-write breaking.
+        #: Composable EPT-fault dispatch chain: ``(name, handler)``
+        #: entries consulted in registration order on every EPT
+        #: violation for an unbacked gfn. A handler returns True to
+        #: *claim* the fault (and must leave the gfn mapped) or False
+        #: to decline, passing it down the chain. Fallback-tier
+        #: handlers run after every normal handler has declined; if
+        #: nobody claims, the hypervisor demand-zeroes the page.
+        self._ept_fault_handlers: List[Tuple[str, Callable]] = []
+        self._ept_fault_fallbacks: List[Tuple[str, Callable]] = []
+        self._legacy_ept_hook: Optional[Callable] = None
+        self._legacy_ept_wrapper: Optional[Callable] = None
+        #: Write-fault (dirty-log exit) dispatch chain, same claim /
+        #: decline contract with ``(vm, gfn) -> bool`` handlers. The
+        #: page sharer's copy-on-write break lives here.
+        self._write_fault_handlers: List[Tuple[str, Callable]] = []
+        #: Installed by repro.overcommit.sharing.PageSharer: the
+        #: cross-subsystem shared-frame refcount protocol (swap and
+        #: teardown consult it before freeing frames).
         self.sharing = None
         #: Optional repro.util.eventlog.EventLog: when set, every VM
         #: exit is traced with its reason, handler detail, and guest pc.
@@ -141,6 +153,107 @@ class Hypervisor:
         #: run loop evaluates the ``vcpu.stall`` site each pump (a hung
         #: guest: the vCPU burns cycles but retires nothing).
         self.injector = None
+
+    # -- fault dispatch chains --------------------------------------------
+
+    def register_ept_fault_handler(
+        self, handler: Callable, name: Optional[str] = None,
+        fallback: bool = False,
+    ) -> Callable:
+        """Add ``handler`` to the EPT-fault dispatch chain.
+
+        ``handler(vm, gfn, access) -> bool`` claims the fault by
+        returning True (it must leave ``gfn`` mapped) or declines with
+        False so the next handler -- and ultimately the demand-zero
+        default -- sees it. ``fallback=True`` queues the handler after
+        every normal one (host swap's residency tracker uses this to
+        observe demand allocations without shadowing anyone). The
+        handler itself is the deregistration token. Multiple owners
+        (host swap, post-copy) compose instead of clobbering a single
+        hook slot.
+        """
+        label = name if name else getattr(handler, "__qualname__", "handler")
+        chain = (self._ept_fault_fallbacks if fallback
+                 else self._ept_fault_handlers)
+        if any(h == handler for _n, h in chain):
+            raise ConfigError(f"EPT fault handler {label!r} already registered")
+        chain.append((label, handler))
+        return handler
+
+    def unregister_ept_fault_handler(self, handler: Callable) -> bool:
+        """Remove ``handler`` from either chain tier; True if found."""
+        for chain in (self._ept_fault_handlers, self._ept_fault_fallbacks):
+            for i, (_name, h) in enumerate(chain):
+                if h == handler:
+                    del chain[i]
+                    return True
+        return False
+
+    def register_write_fault_handler(
+        self, handler: Callable, name: Optional[str] = None,
+    ) -> Callable:
+        """Add ``handler(vm, gfn) -> bool`` to the write-fault chain.
+
+        Consulted on dirty-log exits after per-VM dirty logging; a
+        claiming handler owns the fault (the sharer's COW break). The
+        returned name labels the exit detail, so register COW breakers
+        with ``name="cow_break"`` to keep exit tables stable.
+        """
+        label = name if name else getattr(handler, "__qualname__", "handler")
+        if any(h == handler for _n, h in self._write_fault_handlers):
+            raise ConfigError(f"write fault handler {label!r} already registered")
+        self._write_fault_handlers.append((label, handler))
+        return handler
+
+    def unregister_write_fault_handler(self, handler: Callable) -> bool:
+        for i, (_name, h) in enumerate(self._write_fault_handlers):
+            if h == handler:
+                del self._write_fault_handlers[i]
+                return True
+        return False
+
+    @property
+    def ept_fault_hook(self) -> Optional[Callable]:
+        """Legacy single-owner hook, kept as a chain adapter.
+
+        Assigning a callable registers a claim-everything handler (the
+        old contract: the hook services every fault and leaves the gfn
+        mapped); assigning None removes it. New code should register a
+        chain handler with claim/decline semantics instead.
+        """
+        return self._legacy_ept_hook
+
+    @ept_fault_hook.setter
+    def ept_fault_hook(self, hook: Optional[Callable]) -> None:
+        if self._legacy_ept_wrapper is not None:
+            self.unregister_ept_fault_handler(self._legacy_ept_wrapper)
+            self._legacy_ept_wrapper = None
+        self._legacy_ept_hook = hook
+        if hook is not None:
+            def wrapper(vm, gfn, access, _hook=hook):
+                _hook(vm, gfn, access)
+                return True
+            self._legacy_ept_wrapper = wrapper
+            self.register_ept_fault_handler(wrapper, name="legacy_hook")
+
+    def _dispatch_ept_fault(self, vm: VirtualMachine, gfn: int, access) -> str:
+        """Walk the chain until a handler claims; demand-zero otherwise.
+
+        Returns the claiming handler's name (``core.ept_dispatch.*``
+        counts claims per owner, the raw table behind the E7 routing
+        regression test).
+        """
+        for name, handler in self._ept_fault_handlers:
+            if handler(vm, gfn, access):
+                self.registry.counter(f"core.ept_dispatch.{name}").inc()
+                return name
+        for name, handler in self._ept_fault_fallbacks:
+            if handler(vm, gfn, access):
+                self.registry.counter(f"core.ept_dispatch.{name}").inc()
+                return name
+        vm.guest_mem.map_page(gfn, self.allocator.alloc())
+        self.registry.counter("core.ept_dispatch.demand_zero").inc()
+        return "demand_zero"
 
     # -- VM construction --------------------------------------------------
 
@@ -269,7 +382,7 @@ class Hypervisor:
             mmu.destroy()
         for gfn in list(vm.guest_mem.map):
             hfn = vm.guest_mem.unmap_page(gfn)
-            if self.sharing is None or self.sharing.release_frame(hfn):
+            if self.sharing is None or self.sharing.drop_mapping(vm, gfn, hfn):
                 self.allocator.free(hfn)
         self.vms.pop(vm.name, None)
         self.dirty_handlers.pop(vm.name, None)
@@ -547,15 +660,12 @@ class Hypervisor:
             return "pt_write", costs.shadow_ptwrite_cycles
         if kind == "dirty_log":
             gfn = exit_.qual("gfn")
-            if self.sharing is not None and self.sharing.handles(vm, gfn):
-                handler = self.dirty_handlers.get(vm.name)
-                if handler is not None:
-                    handler(vm, gfn)  # a COW break dirties the page too
-                self.sharing.on_write_fault(vm, gfn)
-                return "cow_break", costs.shadow_fill_cycles
             handler = self.dirty_handlers.get(vm.name)
             if handler is not None:
-                handler(vm, gfn)
+                handler(vm, gfn)  # dirty logging sees every write, COW too
+            for name, wf_handler in self._write_fault_handlers:
+                if wf_handler(vm, gfn):
+                    return name, costs.shadow_fill_cycles
             mmu.unprotect_gfn(gfn)
             return "dirty_log", costs.emulate_cycles
         if kind == "ept_violation":
@@ -567,14 +677,17 @@ class Hypervisor:
                     f"VM {vm.name}: access to gPA {gpa:#x} beyond guest RAM"
                 )
             if not vm.guest_mem.is_mapped(gfn):
-                if self.ept_fault_hook is not None:
-                    self.ept_fault_hook(vm, gfn, exit_.qual("access"))
-                else:
-                    vm.guest_mem.map_page(gfn, self.allocator.alloc())
+                claimant = self._dispatch_ept_fault(
+                    vm, gfn, exit_.qual("access")
+                )
+                # Whatever re-backed the page (swap-in, post-copy
+                # fetch, demand zero), the balloon no longer holds it.
+                vm.ballooned_gfns.discard(gfn)
             hfn = vm.guest_mem.map.get(gfn)
             if hfn is None:
                 raise MemoryError_(
-                    f"EPT fault hook left gfn {gfn} unmapped in {vm.name}"
+                    f"EPT fault handler {claimant!r} left gfn {gfn} "
+                    f"unmapped in {vm.name}"
                 )
             if mmu.ept.lookup(gfn << PAGE_SHIFT) is None:
                 mmu.ept_map(gfn, hfn)
@@ -641,32 +754,47 @@ class Hypervisor:
         return call.name.lower()
 
     def _balloon_give(self, vm: VirtualMachine, vcpu: VCPU, gfn: int) -> None:
+        ok = self.balloon_give(vm, gfn)
+        vcpu.cpu.write_reg(1, 0 if ok else 0xFFFFFFFF)
+
+    def _balloon_take(self, vm: VirtualMachine, vcpu: VCPU, gfn: int) -> None:
+        ok = self.balloon_take(vm, gfn)
+        vcpu.cpu.write_reg(1, 0 if ok else 0xFFFFFFFF)
+
+    def balloon_give(self, vm: VirtualMachine, gfn: int) -> bool:
+        """Balloon mechanism: surrender one backed guest frame.
+
+        The hypercall handler and the host-side pressure controller
+        (modelling a cooperating guest balloon driver) both land here.
+        Shared frames route through the sharer's refcount, so a balloon
+        give can never free a frame other VMs still map.
+        """
         if gfn >= vm.num_pages or not vm.guest_mem.is_mapped(gfn):
-            vcpu.cpu.write_reg(1, 0xFFFFFFFF)
-            return
-        mmu = vcpu.cpu.mmu
+            return False
+        mmu = vm.vcpus[0].cpu.mmu
         if isinstance(mmu, ShadowMMU):
             mmu.drop_gfn(gfn)
         elif isinstance(mmu, NestedMMU):
             if mmu.ept.lookup(gfn << PAGE_SHIFT) is not None:
                 mmu.ept_unmap(gfn)
         hfn = vm.guest_mem.unmap_page(gfn)
-        self.allocator.free(hfn)
+        if self.sharing is None or self.sharing.drop_mapping(vm, gfn, hfn):
+            self.allocator.free(hfn)
         vm.ballooned_gfns.add(gfn)
         self.registry.counter("overcommit.balloon.inflations").inc()
         self.registry.counter("overcommit.operations").inc()
-        vcpu.cpu.write_reg(1, 0)
+        return True
 
-    def _balloon_take(self, vm: VirtualMachine, vcpu: VCPU, gfn: int) -> None:
+    def balloon_take(self, vm: VirtualMachine, gfn: int) -> bool:
+        """Balloon deflate: re-populate a previously surrendered gfn."""
         if gfn not in vm.ballooned_gfns:
-            vcpu.cpu.write_reg(1, 0xFFFFFFFF)
-            return
+            return False
         hfn = self.allocator.alloc()
         vm.guest_mem.map_page(gfn, hfn)
         vm.ballooned_gfns.discard(gfn)
-        mmu = vcpu.cpu.mmu
+        mmu = vm.vcpus[0].cpu.mmu
         if isinstance(mmu, NestedMMU):
             mmu.ept_map(gfn, hfn)
         self.registry.counter("overcommit.balloon.deflations").inc()
         self.registry.counter("overcommit.operations").inc()
-        vcpu.cpu.write_reg(1, 0)
+        return True

@@ -340,6 +340,20 @@ class CPUCore:
             ins = self.fetch(pc)
         except PageFault as fault:
             self.cycles += self.costs.instr_cycles
+            if pc == self.csr[CSR.VBAR] and not self.user_mode:
+                # The kernel-mode fetch of the trap vector itself faulted:
+                # delivering PF_EXEC would re-enter the vector with
+                # identical translation state and fault again, forever
+                # (so run() would never terminate -- no instruction ever
+                # retires). Same terminal condition as a trap with no
+                # vector installed.
+                if self.policy is not None:
+                    raise VMExit(ExitReason.TRIPLE_FAULT, guest_pc=pc,
+                                 cause=Cause.PF_EXEC, value=fault.vaddr)
+                raise GuestError(
+                    f"triple fault: PF_EXEC fetching the trap vector "
+                    f"(pc={pc:#x}, value={fault.vaddr:#x})"
+                )
             self._trap(Cause.PF_EXEC, fault.vaddr, epc=pc)
             return
         self.cycles += self.costs.instr_cycles

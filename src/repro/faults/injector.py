@@ -31,6 +31,12 @@ Known sites (subsystems may define more; unplanned sites never fire):
 ``vcpu.stall``            hypervisor-layer wedge: the vCPU stops retiring
                           instructions (detected by the guest-progress
                           watchdog, recovered by micro-reboot)
+``overcommit.scan_stall`` pressure controller's periodic page-sharing scan
+                          stalls this tick (skipped; reclaim falls behind
+                          until the next scheduled scan)
+``overcommit.balloon_refuse``  a guest balloon driver refuses the inflate
+                          request this tick; the controller retries next
+                          tick and leans on swap in the meantime
 ========================  ====================================================
 """
 

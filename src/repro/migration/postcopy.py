@@ -113,13 +113,12 @@ class PostCopyMigrator:
             dst_vm.guest_mem.map_page(gfn, hfn)
             remaining.discard(gfn)
 
-        def on_ept_fault(fault_vm, gfn, _access):
+        def on_ept_fault(fault_vm, gfn, _access) -> bool:
             if fault_vm is not dst_vm or gfn not in remaining:
-                # Not ours (e.g. a ballooned page): default behaviour.
-                fault_vm.guest_mem.map_page(
-                    gfn, self.destination.allocator.alloc()
-                )
-                return
+                # Not ours (another VM, a ballooned page): decline and
+                # let the rest of the chain -- host swap, demand zero
+                # -- service it.
+                return False
             fetch(gfn)
             stats["faults"] += 1
             # A remote fault stalls the vCPU for a network round trip.
@@ -127,56 +126,63 @@ class PostCopyMigrator:
                 self.fetch_latency_cycles
                 + int(PAGE_SIZE / self.bytes_per_cycle)
             )
+            return True
 
-        old_hook = self.destination.ept_fault_hook
-        self.destination.ept_fault_hook = on_ept_fault
-
-        # Downtime: vCPU + device state only.
-        borrowed = LiveMigrator(self.source, self.destination,
-                                self.bytes_per_cycle)
-        borrowed._copy_vcpu(vm, dst_vm)
-        borrowed._copy_devices(vm, dst_vm)
-        dst_vm.pending_virqs = set(vm.pending_virqs)
-        dst_vm.ballooned_gfns = set(vm.ballooned_gfns)
-        downtime = int(CPU_STATE_BYTES / self.bytes_per_cycle)
-        dst_vm.stats.vmm_cycles += downtime
-
-        # Interleave execution with background pushing until either the
-        # guest finishes or every page has arrived.
-        degraded_start = self._vm_cycles(dst_vm)
-        outcome = RunOutcome.INSTR_LIMIT
-        executed = 0
-        while executed < max_guest_instructions:
-            quantum = min(self.push_quantum,
-                          max_guest_instructions - executed)
-            outcome = self.destination.run(
-                dst_vm, max_guest_instructions=quantum
-            )
-            executed += quantum
-            if outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED):
-                break
-            if remaining:
-                batch = [remaining.pop() for _ in
-                         range(min(self.push_batch_pages, len(remaining)))]
-                for gfn in batch:
-                    remaining.add(gfn)  # fetch() discards
-                    fetch(gfn)
-                    stats["pushed"] += 1
-                dst_vm.stats.vmm_cycles += int(
-                    len(batch) * PAGE_SIZE / self.bytes_per_cycle
-                )
-        degraded = (
-            self._vm_cycles(dst_vm) - degraded_start if remaining == set()
-            else self._vm_cycles(dst_vm) - degraded_start
+        self.destination.register_ept_fault_handler(
+            on_ept_fault, name="postcopy_fetch"
         )
+        try:
+            # Downtime: vCPU + device state only.
+            borrowed = LiveMigrator(self.source, self.destination,
+                                    self.bytes_per_cycle)
+            borrowed._copy_vcpu(vm, dst_vm)
+            borrowed._copy_devices(vm, dst_vm)
+            dst_vm.pending_virqs = set(vm.pending_virqs)
+            dst_vm.ballooned_gfns = set(vm.ballooned_gfns)
+            downtime = int(CPU_STATE_BYTES / self.bytes_per_cycle)
+            dst_vm.stats.vmm_cycles += downtime
 
-        # Finish the background push if the guest ended early.
-        while remaining:
-            gfn = next(iter(remaining))
-            fetch(gfn)
-            stats["pushed"] += 1
+            # Interleave execution with background pushing until either
+            # the guest finishes or every page has arrived.
+            degraded_start = self._vm_cycles(dst_vm)
+            dst_cpu = dst_vm.vcpus[0].cpu
+            outcome = RunOutcome.INSTR_LIMIT
+            executed = 0
+            while executed < max_guest_instructions:
+                quantum = min(self.push_quantum,
+                              max_guest_instructions - executed)
+                retired_before = dst_cpu.instret
+                outcome = self.destination.run(
+                    dst_vm, max_guest_instructions=quantum
+                )
+                # Charge what actually retired; a guest halting
+                # mid-quantum must not burn the whole slice of budget.
+                executed += dst_cpu.instret - retired_before
+                if outcome in (RunOutcome.SHUTDOWN, RunOutcome.HALTED,
+                               RunOutcome.HUNG):
+                    break
+                if remaining:
+                    batch = [remaining.pop() for _ in
+                             range(min(self.push_batch_pages, len(remaining)))]
+                    for gfn in batch:
+                        remaining.add(gfn)  # fetch() discards
+                        fetch(gfn)
+                        stats["pushed"] += 1
+                    dst_vm.stats.vmm_cycles += int(
+                        len(batch) * PAGE_SIZE / self.bytes_per_cycle
+                    )
+            degraded = self._vm_cycles(dst_vm) - degraded_start
 
-        self.destination.ept_fault_hook = old_hook
+            # Finish the background push if the guest ended early.
+            while remaining:
+                gfn = next(iter(remaining))
+                fetch(gfn)
+                stats["pushed"] += 1
+        finally:
+            # Always retire the fetch handler: a destination run that
+            # raises (triple fault, MigrationError) must not leak a
+            # chain entry bound to a dead migrator.
+            self.destination.unregister_ept_fault_handler(on_ept_fault)
         m = self.metrics
         m.counter("migrations").inc()
         pc = m.scope("postcopy")

@@ -16,14 +16,29 @@ Functional mechanisms over real VMs (instruction engine):
   guest; :mod:`repro.overcommit.balloon` provides the host-side policy
   computing per-VM targets.
 
+* :mod:`repro.overcommit.controller` -- the closed loop over all of the
+  above: per-tick WSS sampling feeds balloon targets (with hysteresis),
+  periodic sharing scans reclaim duplicates, and host swap is the
+  watermark-triggered last resort.
+
 Plus :mod:`repro.overcommit.model`: the analytic host-memory model that
 generates E7's overcommit-ratio versus degradation table.
 """
 
 from repro.overcommit.sharing import PageSharer, ScanResult
 from repro.overcommit.swap import HostSwap
-from repro.overcommit.wss import estimate_wss, clear_access_bits, count_accessed
+from repro.overcommit.wss import (
+    accessed_gfns,
+    clear_access_bits,
+    count_accessed,
+    estimate_wss,
+)
 from repro.overcommit.balloon import BalloonPolicy, BalloonTarget
+from repro.overcommit.controller import (
+    ControllerConfig,
+    MemoryPressureController,
+    TickRecord,
+)
 from repro.overcommit.model import (
     PolicyOutcome,
     VMDemand,
@@ -35,6 +50,10 @@ __all__ = [
     "PageSharer",
     "ScanResult",
     "HostSwap",
+    "MemoryPressureController",
+    "ControllerConfig",
+    "TickRecord",
+    "accessed_gfns",
     "estimate_wss",
     "clear_access_bits",
     "count_accessed",

@@ -51,6 +51,11 @@ class BalloonPolicy:
                  idle_tax: float = 0.75):
         if host_pages <= 0:
             raise ConfigError("host_pages must be positive")
+        if not 0 <= reserve_pages < host_pages:
+            raise ConfigError(
+                f"reserve_pages {reserve_pages} must be in [0, host_pages); "
+                f"host has {host_pages} pages"
+            )
         if not 0.0 <= idle_tax <= 1.0:
             raise ConfigError("idle_tax must be in [0, 1]")
         self.host_pages = host_pages
@@ -60,6 +65,10 @@ class BalloonPolicy:
 
     def add_vm(self, name: str, current_pages: int, wss_pages: int,
                shares: int = 1000) -> None:
+        if any(vm.name == name for vm in self._vms):
+            raise ConfigError(f"duplicate VM name {name!r} in balloon policy")
+        if current_pages < 0 or wss_pages < 0:
+            raise ConfigError("current_pages and wss_pages must be >= 0")
         if wss_pages > current_pages:
             wss_pages = current_pages
         if shares <= 0:
@@ -84,11 +93,24 @@ class BalloonPolicy:
         targets: Dict[str, int] = {}
         if total_wss >= available:
             # Even working sets do not fit: scale WSS proportionally
-            # (the remainder will hit host swap).
+            # (the remainder will hit host swap). ``available`` is
+            # positive here (reserve < host), so total_wss > 0.
             for vm in self._vms:
                 targets[vm.name] = max(
                     1, int(available * vm.wss_pages / total_wss)
                 )
+            # The per-VM floor of one page can push the aggregate past
+            # ``available``; trim the largest targets back (never below
+            # the floor) so the cap holds whenever n_vms <= available.
+            overshoot = sum(targets.values()) - available
+            if overshoot > 0:
+                for vm in sorted(self._vms,
+                                 key=lambda v: (-targets[v.name], v.name)):
+                    cut = min(targets[vm.name] - 1, overshoot)
+                    targets[vm.name] -= cut
+                    overshoot -= cut
+                    if overshoot <= 0:
+                        break
         else:
             # Working sets fit. Distribute the surplus by shares, after
             # taxing idle memory (current - wss) at idle_tax.

@@ -4,7 +4,8 @@ The scanner fingerprints mapped guest frames across every registered
 VM, verifies candidate pairs byte-for-byte (fingerprints can collide),
 re-points duplicate gfns at one canonical host frame, frees the
 duplicates, and write-protects every sharer. A write to a shared page
-takes the dirty-log exit path; the hypervisor routes it here and
+takes the dirty-log exit path; the sharer claims it off the
+hypervisor's write-fault dispatch chain and
 :meth:`PageSharer.on_write_fault` breaks the share with a private copy.
 """
 
@@ -47,7 +48,15 @@ class PageSharer:
         self.refcount: Dict[int, int] = {}
         #: (vm name, gfn) pairs currently sharing a frame.
         self._sharers: Set[Tuple[str, int]] = set()
+        if hypervisor.sharing is not None:
+            # Replacing a previous sharer: retire its COW claim first.
+            hypervisor.unregister_write_fault_handler(
+                hypervisor.sharing._claim_write_fault
+            )
         hypervisor.sharing = self
+        hypervisor.register_write_fault_handler(
+            self._claim_write_fault, name="cow_break"
+        )
 
     # -- scanning ---------------------------------------------------------
 
@@ -85,17 +94,40 @@ class PageSharer:
         for group in by_content.values():
             if len(group) < 2:
                 continue
+            # Within-group mapping counts per frame: a pre-existing
+            # alias (two gfns already sharing one *untracked* frame)
+            # must only be freed once its last group reference drops.
+            alias_refs: Dict[int, int] = {}
+            for _vm, _gfn, hfn in group:
+                alias_refs[hfn] = alias_refs.get(hfn, 0) + 1
             canon_vm, canon_gfn, canon_hfn = group[0]
             self._protect(canon_vm, canon_gfn)
             self.refcount.setdefault(canon_hfn, 1)
             self._sharers.add((canon_vm.name, canon_gfn))
             for vm, gfn, hfn in group[1:]:
                 if hfn == canon_hfn:
+                    # Already aliasing the canonical frame. It still
+                    # must be write-protected, refcounted, and tracked:
+                    # an untracked alias lets a guest write mutate the
+                    # shared frame under every other sharer.
+                    if (vm.name, gfn) not in self._sharers:
+                        self.refcount[canon_hfn] += 1
+                        self._protect(vm, gfn)
+                        self._sharers.add((vm.name, gfn))
+                        result.pages_merged += 1
                     continue
                 self._drop_mappings(vm, gfn)
                 vm.guest_mem.unmap_page(gfn)
                 self._sharers.discard((vm.name, gfn))
-                if self.release_frame(hfn):
+                alias_refs[hfn] -= 1
+                if hfn in self.refcount:
+                    # Previously shared: the refcount protocol decides.
+                    if self.release_frame(hfn):
+                        self.hv.allocator.free(hfn)
+                        result.frames_freed += 1
+                elif alias_refs[hfn] == 0:
+                    # Untracked frame: free once the last group alias
+                    # is gone (usually immediately -- aliases are rare).
                     self.hv.allocator.free(hfn)
                     result.frames_freed += 1
                 vm.guest_mem.map_page(gfn, canon_hfn)
@@ -105,10 +137,17 @@ class PageSharer:
                 self._sharers.add((vm.name, gfn))
                 result.pages_merged += 1
 
-    # -- write-fault interception (called by the hypervisor) --------------
+    # -- write-fault interception (claimed off the dispatch chain) --------
 
     def handles(self, vm: VirtualMachine, gfn: int) -> bool:
         return (vm.name, gfn) in self._sharers
+
+    def _claim_write_fault(self, vm: VirtualMachine, gfn: int) -> bool:
+        """Write-fault chain entry: claim shared pages, decline the rest."""
+        if not self.handles(vm, gfn):
+            return False
+        self.on_write_fault(vm, gfn)
+        return True
 
     def on_write_fault(self, vm: VirtualMachine, gfn: int) -> None:
         """Break copy-on-write: give the writer a private copy."""
@@ -129,6 +168,14 @@ class PageSharer:
         if self.release_frame(shared_hfn):
             # Last reference went away entirely (e.g. balloon raced us).
             self.hv.allocator.free(shared_hfn)
+
+    def drop_mapping(self, vm: VirtualMachine, gfn: int, hfn: int) -> bool:
+        """One (vm, gfn) -> hfn mapping is going away for good (balloon
+        give, VM teardown): forget its share tracking and drop the
+        frame reference. Returns True iff the caller must free ``hfn``.
+        """
+        self._sharers.discard((vm.name, gfn))
+        return self.release_frame(hfn)
 
     def release_frame(self, hfn: int) -> bool:
         """Drop one mapping reference.

@@ -2,9 +2,13 @@
 
 The host evicts a guest frame by stashing its contents in a host-side
 store and unmapping it everywhere. The next guest touch faults --
-through the shadow fill path (``page_in_hook``) or an EPT violation
-(``ept_fault_hook``) -- and the page is brought back in, evicting
-something else if the host is still tight.
+through the shadow fill path (``page_in_hook``) or an EPT violation --
+and the page is brought back in, evicting something else if the host is
+still tight. EPT faults arrive through the hypervisor's composable
+dispatch chain: the swap-in handler claims only gfns it actually holds,
+and a fallback-tier handler demand-allocates (and LRU-tracks) whatever
+every other owner declined, so host swap composes with post-copy
+migration instead of stealing its faults.
 
 This is the transparent last-resort mechanism of the overcommit stack:
 correct for any guest, but each fault costs a "disk" access, which is
@@ -13,7 +17,7 @@ still perform.
 """
 
 from collections import OrderedDict
-from typing import Dict, Optional, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.core.hypervisor import Hypervisor
 from repro.core.nested import NestedMMU
@@ -41,10 +45,22 @@ class HostSwap:
         self._resident_lru: "OrderedDict[Tuple[str, int], VirtualMachine]" = (
             OrderedDict()
         )
-        hypervisor.ept_fault_hook = self._ept_fault
+        #: VM names already wired by :meth:`install` (idempotence).
+        self._installed: Set[str] = set()
+        hypervisor.register_ept_fault_handler(self._ept_fault, name="swap_in")
+        hypervisor.register_ept_fault_handler(
+            self._demand_alloc, name="swap_demand", fallback=True
+        )
 
     def install(self, vm: VirtualMachine) -> None:
-        """Wire the page-in path for one VM and seed the LRU."""
+        """Wire the page-in path for one VM and seed the LRU.
+
+        Idempotent per VM: a second install neither re-seeds (which
+        would scramble eviction order) nor double-wires the hook.
+        """
+        if vm.name in self._installed:
+            return
+        self._installed.add(vm.name)
         mmu = vm.vcpus[0].cpu.mmu
         if isinstance(mmu, ShadowMMU):
             mmu.page_in_hook = lambda gfn, _vm=vm: self.swap_in(_vm, gfn)
@@ -93,15 +109,34 @@ class HostSwap:
 
     # -- page-in ------------------------------------------------------------
 
+    def _alloc_or_evict(self, vm: VirtualMachine, gfn: int, zero: bool) -> int:
+        """Allocate a frame, evicting one first when the host is dry.
+
+        Eviction can legitimately find nothing (every resident page
+        shared, or the LRU empty); surface that as a typed
+        :class:`MemoryError_` with context rather than an uncaught
+        allocator failure mid-fault.
+        """
+        if self.hv.allocator.free_frames == 0:
+            self.evict_some(1)
+        if self.hv.allocator.free_frames == 0:
+            raise MemoryError_(
+                f"host out of frames backing gfn {gfn} of {vm.name}: "
+                f"nothing evictable ({len(self._resident_lru)} LRU entries, "
+                f"{self.swapped_pages} already swapped)"
+            )
+        return self.hv.allocator.alloc(zero=zero)
+
     def swap_in(self, vm: VirtualMachine, gfn: int) -> None:
         """Bring a swapped page back (charging the fault cost)."""
         key = (vm.name, gfn)
-        content = self._store.pop(key, None)
+        content = self._store.get(key)
         if content is None:
             raise MemoryError_(f"gfn {gfn} of {vm.name} is not swapped")
-        if self.hv.allocator.free_frames == 0:
-            self.evict_some(1)
-        hfn = self.hv.allocator.alloc(zero=False)
+        # Allocate before popping the store: a failed eviction must not
+        # lose the only copy of the page.
+        hfn = self._alloc_or_evict(vm, gfn, zero=False)
+        del self._store[key]
         self.hv.physmem.write_frame(hfn, content)
         vm.guest_mem.map_page(gfn, hfn)
         self._resident_lru[key] = vm
@@ -116,10 +151,18 @@ class HostSwap:
     def swapped_pages(self) -> int:
         return len(self._store)
 
-    def _ept_fault(self, vm: VirtualMachine, gfn: int, _access) -> None:
-        if self.is_swapped(vm, gfn):
-            self.swap_in(vm, gfn)
-        else:
-            # Not ours: demand-allocate as the hypervisor would have.
-            vm.guest_mem.map_page(gfn, self.hv.allocator.alloc())
-            self._resident_lru[(vm.name, gfn)] = vm
+    # -- EPT-fault chain entries --------------------------------------------
+
+    def _ept_fault(self, vm: VirtualMachine, gfn: int, _access) -> bool:
+        """Claim faults on pages this swap actually holds."""
+        if not self.is_swapped(vm, gfn):
+            return False
+        self.swap_in(vm, gfn)
+        return True
+
+    def _demand_alloc(self, vm: VirtualMachine, gfn: int, _access) -> bool:
+        """Fallback tier: demand-allocate what every owner declined,
+        keeping the residency LRU complete."""
+        vm.guest_mem.map_page(gfn, self._alloc_or_evict(vm, gfn, zero=True))
+        self._resident_lru[(vm.name, gfn)] = vm
+        return True

@@ -10,7 +10,7 @@ Works against *real* guest page tables: the walker reads the guest page
 directory named by the vCPU's (virtual) PTBR.
 """
 
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Set, Tuple
 
 from repro.core.hypervisor import Hypervisor
 from repro.core.modes import VirtMode
@@ -73,6 +73,19 @@ def count_accessed(vm: VirtualMachine) -> int:
     return sum(
         1 for _va, _gpa, pte in _iter_leaf_ptes(vm) if pte & PTE_ACCESSED
     )
+
+
+def accessed_gfns(vm: VirtualMachine) -> Set[int]:
+    """Guest frames whose PTE has the A bit set since the last clear.
+
+    The complement (mapped frames *not* here) is the cold set a
+    pressure controller prefers as balloon / eviction victims.
+    """
+    return {
+        pte_frame(pte)
+        for _va, _gpa, pte in _iter_leaf_ptes(vm)
+        if pte & PTE_ACCESSED
+    }
 
 
 def estimate_wss(

@@ -212,3 +212,35 @@ class TestTriplefault:
     def test_trap_without_vector_is_fatal(self):
         with pytest.raises(GuestError, match="triple fault"):
             run_program("syscall 0\nhlt\n")
+
+    def test_unfetchable_vector_is_fatal_not_a_hang(self):
+        # Point PTBR at all-zero memory: the next fetch page-faults, and
+        # so does every fetch of the vector the trap would re-enter.
+        # Before the vector-fetch check this looped forever inside run()
+        # with instret frozen, so max_instructions never bound it.
+        src = """
+    li a0, vec
+    csrw VBAR, a0
+    li a1, 0x80000
+    csrw PTBR, a1
+    hlt
+vec:
+    iret
+"""
+        with pytest.raises(GuestError, match="triple fault"):
+            run_program(src, steps=1_000)
+
+    def test_unfetchable_vector_identical_on_both_engines(self):
+        src = ".org 0x1000\nli a0, vec\ncsrw VBAR, a0\nli a1, 0x80000\ncsrw PTBR, a1\nhlt\nvec:\niret\n"
+        states = []
+        for jit in (False, True):
+            prog = Assembler().assemble(src)
+            pm = PhysicalMemory(1 * MIB)
+            prog.load(pm)
+            cpu = CPUCore(BareMMU(pm, CostModel()), jit=jit)
+            cpu.reset(0x1000)
+            with pytest.raises(GuestError, match="triple fault"):
+                cpu.run(max_instructions=1_000)
+            states.append((cpu.cycles, cpu.instret, cpu.pc, tuple(cpu.regs),
+                           tuple(cpu.csr)))
+        assert states[0] == states[1]

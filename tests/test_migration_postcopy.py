@@ -102,3 +102,75 @@ def test_parameter_validation():
         PostCopyMigrator(src, dst, bytes_per_cycle=0)
     with pytest.raises(MigrationError):
         PostCopyMigrator(src, dst, push_batch_pages=0)
+
+
+def _ept_chain_names(hv):
+    return [name for name, _ in hv._ept_fault_handlers]
+
+
+class TestFaultHandlerLifecycle:
+    def test_fetch_handler_retired_after_migration(self):
+        src, dst, vm = start_guest()
+        PostCopyMigrator(src, dst, bytes_per_cycle=4.0).migrate_and_run(vm)
+        assert "postcopy_fetch" not in _ept_chain_names(dst)
+
+    def test_fetch_handler_retired_when_run_raises(self):
+        src, dst, vm = start_guest()
+        migrator = PostCopyMigrator(src, dst, bytes_per_cycle=4.0)
+
+        def dying_run(*args, **kwargs):
+            raise MigrationError("destination host died mid-run")
+
+        dst.run = dying_run
+        with pytest.raises(MigrationError):
+            migrator.migrate_and_run(vm)
+        # The failed migration must not leak its fetch handler into the
+        # destination's dispatch chain (it would shadow later owners).
+        assert "postcopy_fetch" not in _ept_chain_names(dst)
+
+    def test_two_sequential_migrations_share_a_destination(self):
+        src, dst, vm = start_guest()
+        first = PostCopyMigrator(src, dst, bytes_per_cycle=4.0)
+        r1 = first.migrate_and_run(vm)
+        assert r1.outcome is RunOutcome.SHUTDOWN
+
+        src2 = Hypervisor(memory_bytes=64 * MIB)
+        vm2 = src2.create_vm(GuestConfig(name="pc2", memory_bytes=GUEST_MEM,
+                                         virt_mode=VirtMode.HW_ASSIST,
+                                         mmu_mode=MMUVirtMode.NESTED))
+        kernel = build_kernel(KernelOptions(memory_bytes=GUEST_MEM))
+        src2.load_program(vm2, kernel)
+        src2.load_program(vm2, workloads.memtouch(PAGES, PASSES))
+        src2.reset_vcpu(vm2, kernel.entry)
+        src2.run(vm2, max_guest_instructions=100_000)
+        r2 = PostCopyMigrator(src2, dst, bytes_per_cycle=4.0).migrate_and_run(vm2)
+        assert r2.outcome is RunOutcome.SHUTDOWN
+        diag = read_diag(r2.dest_vm.guest_mem)
+        assert diag.user_result == expected_memtouch(PAGES, PASSES)
+
+
+def test_budget_counts_actual_retired_instructions():
+    """A guest exiting early each entry must not burn whole quanta."""
+    src, dst, vm = start_guest()
+    migrator = PostCopyMigrator(src, dst, bytes_per_cycle=4.0,
+                                push_quantum_instructions=5000)
+    real_run = dst.run
+    retired = []
+
+    def stingy_run(vm_, max_guest_instructions=None, **kwargs):
+        # Each entry retires at most a fifth of the requested quantum.
+        before = vm_.vcpus[0].cpu.instret
+        outcome = real_run(
+            vm_,
+            max_guest_instructions=min(1000, max_guest_instructions or 1000),
+            **kwargs,
+        )
+        retired.append(vm_.vcpus[0].cpu.instret - before)
+        return outcome
+
+    dst.run = stingy_run
+    migrator.migrate_and_run(vm, max_guest_instructions=10_000)
+    # Charging full quanta regardless of retirement would stop the loop
+    # after ~2 entries (~2k retired); accurate accounting keeps running
+    # the guest until the budget is genuinely consumed.
+    assert sum(retired) >= 9_000

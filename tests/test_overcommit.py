@@ -231,3 +231,167 @@ class TestModel:
             evaluate_policy(0, self._vms(1), PolicyKind.BALLOON)
         with pytest.raises(ConfigError):
             VMDemand("x", configured_pages=10, wss_pages=20).validate()
+
+
+class TestSharerAliases:
+    @staticmethod
+    def _forge_alias(hv, vm, g1, g2):
+        """Map ``g2`` at ``g1``'s host frame, as a buggy balloon or
+        migration path might leave behind; returns that frame."""
+        h1 = vm.guest_mem.map[g1]
+        mmu = vm.vcpus[0].cpu.mmu
+        if mmu.ept.lookup(g2 << 12) is not None:
+            mmu.ept_unmap(g2)
+        hv.allocator.free(vm.guest_mem.unmap_page(g2))
+        vm.guest_mem.map_page(g2, h1)
+        return h1
+
+    def test_alias_of_canonical_frame_is_tracked_and_cow_safe(self):
+        """A second gfn already mapping the canonical frame must be
+        write-protected, refcounted, and tracked by the scan -- an
+        untracked alias would let a guest write mutate the shared frame
+        under every other sharer."""
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = start_vm(hv, "alias")
+        g1, g2 = sorted(vm.guest_mem.map)[-2:]
+        # Unique content keeps this merge group down to the two
+        # aliases, making the aliased frame itself the canonical one.
+        vm.guest_mem.write_u32(g1 * 4096, 0x51A50001)
+        h1 = self._forge_alias(hv, vm, g1, g2)
+
+        sharer = PageSharer(hv)
+        sharer.scan()
+        assert sharer.handles(vm, g1)
+        assert sharer.handles(vm, g2)
+        assert vm.guest_mem.map[g2] == h1
+        # Refcount reflects every live mapping of the canonical frame.
+        assert sharer.refcount[h1] == 2
+
+        # Breaking COW on the alias isolates it without touching g1.
+        before = vm.guest_mem.read_gfn(g1)
+        sharer.on_write_fault(vm, g2)
+        assert vm.guest_mem.map[g2] != vm.guest_mem.map[g1]
+        vm.guest_mem.write_u32(g2 * 4096, 0xDEAD1234)
+        assert vm.guest_mem.read_gfn(g1) == before
+
+    def test_alias_of_noncanonical_frame_is_not_double_freed(self):
+        """Aliases whose shared frame merges *into* another canonical
+        frame must free that frame exactly once."""
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vm = start_vm(hv, "alias2")
+        # Zero pages: the aliased frame joins the huge zero-content
+        # group and is non-canonical there.
+        g1, g2 = sorted(vm.guest_mem.map)[-2:]
+        self._forge_alias(hv, vm, g1, g2)
+
+        sharer = PageSharer(hv)
+        sharer.scan()  # double free would raise MemoryError_ here
+        assert sharer.handles(vm, g1)
+        assert sharer.handles(vm, g2)
+        canon = vm.guest_mem.map[g1]
+        assert vm.guest_mem.map[g2] == canon
+        live = sum(1 for v in hv.vms.values()
+                   for hfn in v.guest_mem.map.values() if hfn == canon)
+        assert sharer.refcount[canon] == live
+
+    def test_refcount_equals_live_mapping_count(self):
+        """Invariant: every shared hfn's refcount equals the number of
+        live gfn mappings pointing at it, through scans and COW."""
+        hv = Hypervisor(memory_bytes=96 * MIB)
+        vms = [start_vm(hv, f"p{i}", passes=1200) for i in range(3)]
+        sharer = PageSharer(hv)
+        for _ in range(3):
+            sharer.scan()
+            for vm in vms:
+                hv.run(vm, max_guest_instructions=150_000)
+        mapping_count = {}
+        for vm in hv.vms.values():
+            for hfn in vm.guest_mem.map.values():
+                mapping_count[hfn] = mapping_count.get(hfn, 0) + 1
+        assert sharer.refcount  # scans actually merged something
+        for hfn, rc in sharer.refcount.items():
+            assert rc == mapping_count.get(hfn, 0), hfn
+        # And every tracked sharer still maps a refcounted frame.
+        for name, gfn in sharer._sharers:
+            hfn = hv.vms[name].guest_mem.map[gfn]
+            assert hfn in sharer.refcount, (name, gfn)
+
+
+class TestHostSwapEdgeCases:
+    def test_swap_in_nothing_evictable_raises_typed_error(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "dry")
+        swap = HostSwap(hv)
+        swap.install(vm)
+        gfn = sorted(vm.guest_mem.map)[10]
+        content = vm.guest_mem.read_gfn(gfn)
+        swap.swap_out(vm, gfn)
+        while hv.allocator.free_frames:
+            hv.allocator.alloc()
+        # Simulate every resident page being pinned/shared: nothing the
+        # LRU can give back.
+        swap._resident_lru.clear()
+        with pytest.raises(MemoryError_, match="nothing evictable"):
+            swap.swap_in(vm, gfn)
+        # The only copy of the page must survive the failed page-in.
+        assert swap.is_swapped(vm, gfn)
+        assert swap._store[(vm.name, gfn)] == content
+
+    def test_install_is_idempotent(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        vm = start_vm(hv, "twice")
+        swap = HostSwap(hv)
+        swap.install(vm)
+        order = list(swap._resident_lru)
+        swap.evict_some(5)
+        after_evict = list(swap._resident_lru)
+        swap.install(vm)  # second install: no re-seed, no re-wire
+        assert list(swap._resident_lru) == after_evict
+        assert len(after_evict) == len(order) - 5
+
+    def test_two_owners_cannot_clobber_each_other(self):
+        hv = Hypervisor(memory_bytes=64 * MIB)
+        swap = HostSwap(hv)
+        with pytest.raises(ConfigError):
+            hv.register_ept_fault_handler(swap._ept_fault, name="swap_in")
+
+
+class TestBalloonPolicyValidation:
+    def test_duplicate_vm_rejected(self):
+        policy = BalloonPolicy(host_pages=1000)
+        policy.add_vm("a", 100, 50)
+        with pytest.raises(ConfigError):
+            policy.add_vm("a", 200, 80)
+
+    def test_reserve_pages_validated(self):
+        with pytest.raises(ConfigError):
+            BalloonPolicy(host_pages=100, reserve_pages=100)
+        with pytest.raises(ConfigError):
+            BalloonPolicy(host_pages=100, reserve_pages=-1)
+        # Boundary: reserve strictly below host is fine even with zero
+        # total WSS (used to divide by zero).
+        policy = BalloonPolicy(host_pages=100, reserve_pages=99)
+        policy.add_vm("a", 200, 0)
+        policy.add_vm("b", 200, 0)
+        targets = {t.name: t.target_pages for t in policy.compute_targets()}
+        assert sum(targets.values()) <= 1
+
+    def test_negative_pages_rejected(self):
+        policy = BalloonPolicy(host_pages=1000)
+        with pytest.raises(ConfigError):
+            policy.add_vm("a", -1, 0)
+        with pytest.raises(ConfigError):
+            policy.add_vm("b", 10, -5)
+
+    def test_scaled_wss_floor_respects_available(self):
+        # 9 VMs on a 10-page host: the per-VM floor of one page would
+        # push the aggregate past what is available; the overshoot must
+        # be trimmed from the largest targets.
+        policy = BalloonPolicy(host_pages=10)
+        policy.add_vm("big", 2000, 1000)
+        for i in range(8):
+            policy.add_vm(f"s{i}", 100, 1)
+        targets = {t.name: t.target_pages for t in policy.compute_targets()}
+        assert sum(targets.values()) <= 10
+        assert all(t >= 1 for t in targets.values())
+        assert targets["big"] >= targets["s0"]
