@@ -1,0 +1,36 @@
+"""Differential fuzzing: campaign throughput and verdict shape.
+
+Measures host-side throughput of the five-backend differential harness
+(cases/second) and asserts the campaign's structural properties: clean
+at HEAD, deterministic manifest identity, and a healthy outcome mix
+(most generated guests must actually halt -- a generator that mostly
+hangs or aborts is stressing the cycle guard, not the backends).
+"""
+
+from repro.fuzz.campaign import manifest_identity, run_campaign
+from repro.fuzz.diff import default_opts
+
+_SEED = 1
+_CASES = 12
+
+
+def test_fuzz_campaign_throughput(benchmark):
+    out = benchmark.pedantic(
+        run_campaign, args=(_SEED, _CASES),
+        kwargs={"jobs": 1, "opts": default_opts()},
+        iterations=1, rounds=1,
+    )
+    fz = out["manifest"]["extra"]["fuzz"]
+    assert fz["cases"] == _CASES
+    assert fz["failures"] == []
+
+    classes = fz["outcome_classes"]
+    # Each case contributes one outcome class per backend group; the
+    # generator's exit tail should land most cases at a clean halt.
+    assert classes.get("halted", 0) >= _CASES // 2
+    assert classes.get("hang", 0) == 0
+
+    # Re-running the same campaign serially must be byte-identical.
+    again = run_campaign(_SEED, _CASES, jobs=1, opts=default_opts())
+    assert (manifest_identity(out["manifest"])
+            == manifest_identity(again["manifest"]))

@@ -143,6 +143,60 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import load_corpus, replay_entry, run_campaign
+    from repro.fuzz.bugs import known_bugs
+    from repro.fuzz.diff import default_opts
+
+    if args.bug is not None and args.bug not in known_bugs():
+        print(f"unknown bug {args.bug!r}; try: {' '.join(known_bugs())}",
+              file=sys.stderr)
+        return 2
+
+    if args.replay:
+        entries = load_corpus(args.replay)
+        if not entries:
+            print(f"no corpus entries under {args.replay}", file=sys.stderr)
+            return 2
+        bad = 0
+        for entry in entries:
+            # At HEAD a repro recorded under a bug shim must pass clean.
+            result = replay_entry(entry, with_bug=False)
+            kind = result["verdict"]["kind"]
+            tag = "ok" if kind == "ok" else "FAIL"
+            if kind != "ok":
+                bad += 1
+            print(f"[{tag}] seed={entry['root_seed']} "
+                  f"case={entry['case_index']} "
+                  f"bug={entry['opts'].get('bug')} -> {kind}")
+        print(f"{len(entries)} corpus repros replayed, {bad} regressed")
+        return 1 if bad else 0
+
+    opts = default_opts()
+    if args.max_instructions is not None:
+        opts["max_instructions"] = args.max_instructions
+    opts["fault_rate"] = args.faults
+    opts["bug"] = args.bug
+
+    out = run_campaign(args.seed, args.cases, jobs=max(1, args.jobs),
+                       opts=opts, shrink=args.shrink, out_dir=args.out,
+                       log=lambda msg: print(msg, file=sys.stderr))
+    if args.json:
+        print(json.dumps(out["manifest"], indent=2, sort_keys=True))
+    else:
+        fz = out["manifest"]["extra"]["fuzz"]
+        print(f"seed              : {args.seed}")
+        print(f"cases             : {fz['cases']}")
+        print(f"failures          : {len(fz['failures'])}")
+        print(f"shrunk repros     : {len(fz['shrunk'])}")
+        print("outcome classes   :")
+        for outcome, count in fz["outcome_classes"].items():
+            print(f"  {outcome:14s} {count}")
+        if args.out:
+            print(f"artifacts         : {args.out}/")
+    return 1 if out["failures"] else 0
+
+
 def _cmd_boot(args) -> int:
     from repro.bench.common import run_guest_workload
     from repro.core.modes import MMUVirtMode, VirtMode
@@ -215,6 +269,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     boot_p.add_argument("--mode", default="hw-nested")
     boot_p.add_argument("--workload", default="hello")
 
+    fuzz_p = sub.add_parser(
+        "fuzz", help="differential fuzzing: interp vs jit vs bt, "
+                     "shadow vs nested paging"
+    )
+    fuzz_p.add_argument("--seed", type=int, default=1,
+                        help="campaign root seed (default 1)")
+    fuzz_p.add_argument("--cases", type=int, default=200,
+                        help="number of generated cases (default 200)")
+    fuzz_p.add_argument("--jobs", type=int, default=1,
+                        help="worker processes; results are independent "
+                             "of this (default 1)")
+    fuzz_p.add_argument("--shrink", action="store_true",
+                        help="shrink failing cases to minimal repros")
+    fuzz_p.add_argument("--max-instructions", type=int, default=None,
+                        help="guest instruction budget per case")
+    fuzz_p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
+                        help="also run each config under a seeded "
+                             "virtio.ring_stuck fault schedule")
+    fuzz_p.add_argument("--bug", default=None,
+                        help="apply a known-bug shim (see repro.fuzz.bugs) "
+                             "to verify the harness catches it")
+    fuzz_p.add_argument("--out", default=None, metavar="DIR",
+                        help="write manifest.json + shrunk repros here")
+    fuzz_p.add_argument("--replay", default=None, metavar="DIR",
+                        help="replay a corpus directory as a regression "
+                             "suite instead of fuzzing")
+    fuzz_p.add_argument("--json", action="store_true",
+                        help="print the campaign manifest as JSON")
+
     args = parser.parse_args(argv)
     if args.command == "list":
         return _cmd_list(args)
@@ -222,6 +305,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     return _cmd_boot(args)
 
 

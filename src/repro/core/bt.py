@@ -27,11 +27,12 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.emulate import emulate_privileged
 from repro.core.vcpu import VCPU
+from repro.cpu.exits import ExitReason, VMExit
 from repro.cpu.interp import TrapInfo
 from repro.cpu.jit import compile_bt_block
-from repro.cpu.isa import Cause, Instruction, MODE_KERNEL, Op
+from repro.cpu.isa import CSR, Cause, Instruction, MODE_KERNEL, Op
 from repro.mem.costs import CostModel
-from repro.mem.paging import AccessType
+from repro.mem.paging import AccessType, PageFault
 
 #: Maximum instructions per translated block.
 MAX_BLOCK_INSTRUCTIONS = 32
@@ -104,6 +105,16 @@ class BTEngine:
         self._chains: Set[Tuple[int, int]] = set()
         self._gfn_blocks: Dict[int, Set[Tuple[Optional[int], int]]] = {}
         self._costs_sig = self._cost_signature()
+        #: Self-modifying-code protection: host frames backing translated
+        #: guest code, watched for writes on the physical memory (stores
+        #: the translator runs natively, hypercall side effects and
+        #: device DMA all land there). A write drops every translation
+        #: backed by the written frame's guest page(s).
+        self._watched_hfns: Set[int] = set()
+        self._hfn_gfns: Dict[int, Set[int]] = {}
+        self.vcpu.cpu.mmu.physmem.watch_writes(
+            self._watched_hfns, self._on_code_write
+        )
 
     # -- public API ------------------------------------------------------
 
@@ -133,11 +144,18 @@ class BTEngine:
             block = self._cache.get(key) if self.cache_enabled else None
             if block is None:
                 block = self._translate(cpu.pc)
+                if block is None:
+                    # First fetch of the block faulted: the PF_EXEC was
+                    # reflected into the guest, whose pc now sits at its
+                    # vector. Re-dispatch from there.
+                    prev_block_va = None
+                    continue
                 vm.stats.bt_block_misses += 1
                 if self.cache_enabled:
                     self._cache[key] = block
                     for gfn in block.code_gfns:
                         self._gfn_blocks.setdefault(gfn, set()).add(key)
+                    self._watch_block(block)
             else:
                 vm.stats.bt_block_hits += 1
             # Dispatch cost, unless chained from the previous block.
@@ -177,10 +195,30 @@ class BTEngine:
         self._cache.clear()
         self._chains.clear()
         self._gfn_blocks.clear()
+        self._watched_hfns.clear()
+        self._hfn_gfns.clear()
 
     @property
     def cached_blocks(self) -> int:
         return len(self._cache)
+
+    def _watch_block(self, block: TranslatedBlock) -> None:
+        """Arm write-watching for the frames backing a cached block."""
+        guest_map = self.vcpu.vm.guest_mem.map
+        for gfn in block.code_gfns:
+            hfn = guest_map.get(gfn)
+            if hfn is None:
+                continue
+            self._hfn_gfns.setdefault(hfn, set()).add(gfn)
+            self._watched_hfns.add(hfn)
+
+    def _on_code_write(self, hfn: int) -> None:
+        """Physmem write watcher: a store landed on translated code."""
+        gfns = self._hfn_gfns.pop(hfn, None)
+        self._watched_hfns.discard(hfn)
+        if gfns:
+            for gfn in gfns:
+                self.invalidate_gfn(gfn)
 
     # -- internals -------------------------------------------------------
 
@@ -198,15 +236,41 @@ class BTEngine:
         root = getattr(mmu, "guest_root", None)
         return (root, va)
 
-    def _translate(self, va: int) -> TranslatedBlock:
-        """Decode one basic block starting at ``va``."""
+    def _translate(self, va: int) -> Optional[TranslatedBlock]:
+        """Decode one basic block starting at ``va``.
+
+        Returns ``None`` when the *first* fetch takes a guest page
+        fault: the fault is reflected into the guest exactly as a
+        hardware instruction fetch would trap, and the caller
+        re-dispatches from the guest's vector. A fault past the first
+        instruction truncates the block at the faulting boundary --
+        execution re-enters at the cursor and faults architecturally
+        then. (Without this, a guest jump to a non-executable page
+        escaped as a host-level PageFault instead of a guest trap.)
+        """
         cpu = self.vcpu.cpu
         vm = self.vcpu.vm
         items: List[Tuple[str, Instruction]] = []
         code_gfns: Set[int] = set()
         cursor = va
         for _ in range(MAX_BLOCK_INSTRUCTIONS):
-            ins = cpu.fetch(cursor)  # may raise VMExit (shadow fill)
+            try:
+                ins = cpu.fetch(cursor)  # may raise VMExit (shadow fill)
+            except PageFault as fault:
+                if items:
+                    break
+                cpu.cycles += self.costs.trap_cycles
+                if cursor == self.vcpu.vcsr[CSR.VBAR]:
+                    # Fetching the guest's own trap vector faulted:
+                    # reflecting would re-enter the vector and fault
+                    # again forever. Same terminal condition as the
+                    # hardware-assist triple-fault guard.
+                    raise VMExit(ExitReason.TRIPLE_FAULT, guest_pc=cursor,
+                                 cause=Cause.PF_EXEC, value=fault.vaddr)
+                self.vcpu.reflect_trap(
+                    TrapInfo(Cause.PF_EXEC, fault.vaddr, epc=cursor)
+                )
+                return None
             mmu = cpu.mmu
             if hasattr(mmu, "_guest_walk") and getattr(mmu, "guest_root", None) is not None:
                 code_gfns.add(mmu._guest_walk(cursor, AccessType.EXEC).gfn)

@@ -7,7 +7,8 @@ privileged instruction against the vCPU's *virtual* state.
 
 from typing import Optional
 
-from repro.cpu.isa import CSR, Instruction, MODE_USER, Op
+from repro.cpu.interp import TrapInfo
+from repro.cpu.isa import CSR, Cause, Instruction, MODE_USER, Op
 from repro.mem.paging import AccessType
 from repro.util.errors import GuestError
 from repro.util.units import PAGE_SHIFT
@@ -52,8 +53,16 @@ def emulate_privileged(vcpu, ins: Instruction, port_bus=None) -> str:
             value = cpu.instret & 0xFFFFFFFF
         elif csr == CSR.CPUID:
             value = cpu.csr[CSR.CPUID]
+        elif csr < len(vcsr):
+            # Architecturally-unassigned-but-in-range CSRs are guest
+            # scratch on bare hardware; keep them in virtual state.
+            value = vcsr[csr]
         else:
-            raise GuestError(f"guest read of unknown CSR {csr}")
+            # Native semantics: ILLEGAL trap into the *guest*, not a
+            # host error -- guests probing CSR space must behave the
+            # same under every virtualization mode.
+            vcpu.reflect_trap(TrapInfo(Cause.ILLEGAL, csr, epc=cpu.pc))
+            return "illegal_csr"
         cpu.write_reg(ins.rd, value)
         cpu.pc = (cpu.pc + ins.length) & 0xFFFFFFFF
         return "csrr"
@@ -61,8 +70,9 @@ def emulate_privileged(vcpu, ins: Instruction, port_bus=None) -> str:
     if op is Op.CSRW:
         csr = ins.simm12 & 0xFFF
         value = cpu.regs[ins.ra]
-        if csr in _READONLY or csr not in _VIRTUAL_CSRS:
-            raise GuestError(f"guest write of read-only/unknown CSR {csr}")
+        if csr in _READONLY or csr >= len(vcsr):
+            vcpu.reflect_trap(TrapInfo(Cause.ILLEGAL, csr, epc=cpu.pc))
+            return "illegal_csr"
         vcsr[csr] = value & 0xFFFFFFFF
         if csr == CSR.PTBR:
             cpu.mmu.set_root(value)
@@ -127,4 +137,8 @@ def emulate_guest_store(vcpu, ins: Instruction, guest_mem, shadow) -> int:
         guest_mem.write_u8(gpa, cpu.regs[ins.rb] & 0xFF)
     shadow.handle_guest_pt_write(gpa)
     cpu.pc = (cpu.pc + ins.length) & 0xFFFFFFFF
+    # The trapped store retires here (the faulting attempt rolled its
+    # increment back before exiting), keeping instret honest vs. a
+    # config where the same store runs unintercepted.
+    cpu.instret += 1
     return gpa

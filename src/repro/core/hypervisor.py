@@ -481,12 +481,25 @@ class Hypervisor:
             else:
                 stalled_pumps = 0
 
+            cycle_budget = None
+            if max_cycles is not None:
+                cycle_budget = max_cycles - (self._vm_time(vm) - start_cycles)
             try:
-                self._enter_guest(vm, vcpu, max_guest_instructions, start_instret)
+                self._enter_guest(vm, vcpu, max_guest_instructions,
+                                  start_instret, cycle_budget)
             except VMExit as exit_:
-                self._handle_exit(vm, vcpu, exit_)
+                try:
+                    self._handle_exit(vm, vcpu, exit_)
+                except VMExit as nested:
+                    # Servicing an exit can itself exit -- e.g. the
+                    # emulator reflects a trap into a guest whose
+                    # vector is gone (triple fault). One re-dispatch
+                    # suffices: the only nested exit reflection can
+                    # produce is TRIPLE_FAULT, which is terminal.
+                    self._handle_exit(vm, vcpu, nested)
 
-    def _enter_guest(self, vm, vcpu, max_guest_instructions, start_instret) -> None:
+    def _enter_guest(self, vm, vcpu, max_guest_instructions, start_instret,
+                     cycle_budget=None) -> None:
         cpu = vcpu.cpu
         slice_ = PUMP_SLICE
         if max_guest_instructions is not None:
@@ -503,9 +516,17 @@ class Hypervisor:
             and vcpu.virtual_mode == MODE_KERNEL
             and not vcpu.halted
         ):
-            vm.bt.run(max_cycles=slice_ * 4)
+            bt_budget = slice_ * 4
+            if cycle_budget is not None:
+                bt_budget = min(bt_budget, cycle_budget)
+            vm.bt.run(max_cycles=bt_budget)
             return
-        result = cpu.run(max_instructions=slice_)
+        # A per-entry cycle bound keeps ``max_cycles`` honest even when
+        # the guest burns cycles without retiring instructions inside
+        # one slice (trap-delivery livelock): without it the
+        # instruction-bounded core run would never come back to the
+        # pump loop's cycle check.
+        result = cpu.run(max_instructions=slice_, cycle_guard=cycle_budget)
         if result.stop is StopReason.VMEXIT:
             raise result.exit
         if result.stop is StopReason.HALT:
@@ -516,12 +537,22 @@ class Hypervisor:
 
     def _vm_idle(self, vm: VirtualMachine, vcpu: VCPU) -> bool:
         if vm.config.virt_mode is VirtMode.HW_ASSIST:
-            if vcpu.cpu.halted and vcpu.cpu.pending_irqs:
+            if (
+                vcpu.cpu.halted
+                and vcpu.cpu.pending_irqs
+                and vcpu.cpu.csr[CSR.IE]
+            ):
                 return False  # core will wake on its own
+            # With IE clear a pending IRQ cannot wake the core: entering
+            # the guest would return HALT immediately and the pump loop
+            # would spin forever. Architecturally dead, so: idle.
             return vcpu.cpu.halted or vcpu.halted
         if not (vcpu.halted or vcpu.cpu.halted):
             return False
-        return not vm.pending_virqs
+        # A pending virq only makes the VM runnable if it can actually be
+        # injected; with virtual IE clear the guest is architecturally
+        # dead (mirrors the HW_ASSIST branch above).
+        return not (vm.pending_virqs and self._guest_ie(vm, vcpu))
 
     # -- virtual interrupt injection ----------------------------------------
 
@@ -585,7 +616,14 @@ class Hypervisor:
         if reason is ExitReason.GUEST_TRAP:
             info: TrapInfo = exit_.qual("trap")
             ins = exit_.qual("ins")
-            if info.cause is Cause.PRIV:
+            if info.cause is Cause.PRIV and not vcpu.virtual_user:
+                # Only the guest *kernel* (deprivileged onto real user
+                # mode) gets its privileged instructions emulated. A
+                # PRIV trap raised while the virtual mode is user is the
+                # guest's own application touching privileged state; the
+                # hardware answer is a trap into the guest kernel, so
+                # reflect it -- emulating here would be a guest-level
+                # privilege escalation (and diverges from HW_ASSIST).
                 if ins is None:
                     ins = vcpu.cpu.fetch(vcpu.cpu.pc)
                 detail = emulate_privileged(vcpu, ins, port_bus=vm.port_bus)

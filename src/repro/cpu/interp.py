@@ -408,6 +408,15 @@ class CPUCore:
                 )
                 self._trap(cause, fault.vaddr, epc=pc, ins=ins)
                 return
+            except VMExit:
+                # The monitor services the exit (shadow fill, dirty
+                # log, PT-write emulation) and the instruction either
+                # re-executes or is completed by the emulator; either
+                # way this attempt did not retire. Compiled blocks
+                # restore the same boundary state on their exception
+                # path, keeping instret bit-identical across engines.
+                self.instret -= 1
+                raise
             self.pc = next_pc
             return
 
@@ -421,20 +430,30 @@ class CPUCore:
         self,
         max_instructions: Optional[int] = None,
         max_cycles: Optional[int] = None,
+        cycle_guard: Optional[int] = None,
     ) -> RunResult:
         """Run until halt, a limit, or a VM exit.
 
         Dispatches to the compiled-block engine when it can reproduce
         the reference semantics bit-for-bit (plain BareMMU, no policy,
         no cycle budget); otherwise runs the reference interpreter loop.
+
+        ``cycle_guard`` is a coarse safety net against guests that burn
+        cycles without retiring instructions (trap-delivery livelock):
+        unlike ``max_cycles`` it does not demote the core to the
+        reference interpreter, and the compiled engine only honours it
+        at block boundaries. A guard trip returns
+        :data:`StopReason.CYCLE_LIMIT`; the precise stop state is *not*
+        part of the bit-identical interp/JIT contract (the differential
+        fuzzer compares guard trips by class only).
         """
         if self.jit_enabled and max_cycles is None and self.policy is None:
             jit = self._jit
             if jit is None:
                 jit = self._jit_setup()
             if jit:
-                return self._run_compiled(jit, max_instructions)
-        return self._run_interp(max_instructions, max_cycles)
+                return self._run_compiled(jit, max_instructions, cycle_guard)
+        return self._run_interp(max_instructions, max_cycles, cycle_guard)
 
     def _jit_setup(self):
         """Probe once whether this core supports compiled blocks."""
@@ -446,7 +465,12 @@ class CPUCore:
             self._jit = False
         return self._jit
 
-    def _run_compiled(self, jit, max_instructions: Optional[int]) -> RunResult:
+    def _run_compiled(
+        self,
+        jit,
+        max_instructions: Optional[int],
+        cycle_guard: Optional[int] = None,
+    ) -> RunResult:
         """Block-at-a-time loop; falls back to :meth:`step` per slow case."""
         jit.check_costs()
         start_instr = self.instret
@@ -457,6 +481,14 @@ class CPUCore:
         csr = self.csr
         ie = int(CSR.IE)
         while True:
+            if cycle_guard is not None and (
+                self.cycles - start_cycles >= cycle_guard
+            ):
+                return RunResult(
+                    StopReason.CYCLE_LIMIT,
+                    self.instret - start_instr,
+                    self.cycles - start_cycles,
+                )
             if self.halted:
                 if csr[ie] and self.pending_irqs:
                     self.halted = False
@@ -524,10 +556,15 @@ class CPUCore:
         self,
         max_instructions: Optional[int] = None,
         max_cycles: Optional[int] = None,
+        cycle_guard: Optional[int] = None,
     ) -> RunResult:
         """The reference interpreter loop (the correctness oracle)."""
         start_instr = self.instret
         start_cycles = self.cycles
+        if cycle_guard is not None and (
+            max_cycles is None or cycle_guard < max_cycles
+        ):
+            max_cycles = cycle_guard
         while True:
             if self.halted:
                 if self.csr[CSR.IE] and self.pending_irqs:

@@ -33,6 +33,7 @@ Two consumers:
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.cpu.exits import VMExit
 from repro.cpu.isa import Cause, DecodeError, Instruction, Op, decode
 from repro.cpu.mmu import BareMMU
 from repro.mem.paging import AccessType, PageFault
@@ -371,19 +372,26 @@ def _compile_items(
 
     if guarded:
         hit_fix = "st.hits += _n + 1" if track_tlb else None
-        for handler, tail in (
+        # A page fault retires the faulting access (the trap is
+        # delivered with it architecturally complete), but a VMExit is
+        # serviced by the monitor and the instruction re-executes or is
+        # finished by the emulator -- that attempt does not retire,
+        # mirroring the interpreter's rollback in CPUCore.execute.
+        for handler, retired, tail in (
             (
                 "except _PF as f:",
+                "_RA[_n]",
                 f"cpu._trap(_PFW if f.access is _AW else _PFR, "
                 f"f.vaddr, _V[_n], _I[_n])",
             ),
-            ("except BaseException:", "raise"),
+            ("except _VX:", "_RA[_n] - 1", "raise"),
+            ("except BaseException:", "_RA[_n]", "raise"),
         ):
             src.emit(1, handler)
             src.emit(2, "if _n < 0:")
             src.emit(3, "raise")
             src.emit(2, "cpu.cycles = c0 + _P[_n + 1] + mc")
-            src.emit(2, "cpu.instret = i0 + _RA[_n]")
+            src.emit(2, f"cpu.instret = i0 + {retired}")
             if hit_fix:
                 src.emit(2, hit_fix)
                 src.emit(2, f"if {vpn} in te._entries:")
@@ -399,6 +407,7 @@ def _compile_items(
         "_I": tuple(ins for _, ins, _ in items),
         "_RA": tuple(reta),
         "_PF": PageFault,
+        "_VX": VMExit,
         "_AW": AccessType.WRITE,
         "_AR": AccessType.READ,
         "_PFW": Cause.PF_WRITE,

@@ -115,6 +115,17 @@ class VirtQueue:
         avail_idx = self.mem.read_u32(self.avail_gpa)
         if self.last_avail_idx == avail_idx:
             return None
+        pending = (avail_idx - self.last_avail_idx) & 0xFFFFFFFF
+        if pending > self.size:
+            # A sane driver can never post more chains than the ring
+            # holds. Seeing more means the index word was corrupted --
+            # e.g. a completion write landing inside the avail ring --
+            # and chasing it would let a hostile guest wedge the host
+            # in this drain loop forever.
+            raise DeviceError(
+                f"avail ring advanced by {pending} entries "
+                f"(queue size {self.size}): corrupt index"
+            )
         slot = self.last_avail_idx % self.size
         head = self.mem.read_u32(self.avail_gpa + 4 + slot * 4)
         self.last_avail_idx = (self.last_avail_idx + 1) & 0xFFFFFFFF

@@ -15,7 +15,13 @@ as by its happy path. This package provides the three layers:
   logic in :func:`repro.cluster.placement.failover`.
 """
 
-from repro.faults.injector import FaultInjector, FaultPlan, FaultSpec
+from repro.faults.injector import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    known_sites,
+    register_site,
+)
 from repro.faults.recovery import MicroRebooter, RetryPolicy
 from repro.faults.watchdog import DeviceTimeoutMonitor, GuestProgressWatchdog
 
@@ -23,6 +29,8 @@ __all__ = [
     "FaultSpec",
     "FaultPlan",
     "FaultInjector",
+    "known_sites",
+    "register_site",
     "GuestProgressWatchdog",
     "DeviceTimeoutMonitor",
     "MicroRebooter",

@@ -8,7 +8,13 @@ streams forked from one seed, so a fault schedule is a pure function of
 ``(plan, seed)`` -- rerunning an experiment replays byte-for-byte the
 same faults (assert with :meth:`FaultInjector.trace_bytes`).
 
-Known sites (subsystems may define more; unplanned sites never fire):
+Site names are validated against a central registry at plan-build time:
+a :class:`FaultSpec` naming an unknown site (a typo like
+``migrate.link_drp``) raises :class:`~repro.util.errors.ConfigError`
+instead of silently never firing. Subsystems defining new injection
+points declare them with :func:`register_site` at import time.
+
+Known sites (unplanned-but-registered sites never fire):
 
 ========================  ====================================================
 ``block.io_error``        emulated disk completes a command with an I/O error
@@ -50,6 +56,49 @@ from repro.util.rng import DeterministicRNG
 _MASK64 = (1 << 64) - 1
 
 
+#: The central site registry. Seeded with every site the tree defines
+#: today; subsystems adding injection points call :func:`register_site`.
+_KNOWN_SITES: Dict[str, str] = {
+    "block.io_error": "emulated disk completes a command with an I/O error",
+    "block.stuck": "emulated disk wedges until reset()",
+    "virtio.ring_stuck": "virtio device ignores kicks until reset",
+    "link.drop": "in-flight transfer dies partway",
+    "link.degrade": "transfer runs at a fraction of link bandwidth",
+    "link.partition": "link goes down for partition_ticks",
+    "migration.xfer_drop": "migration stream breaks mid-batch",
+    "migration.page_corrupt": "page corrupted in flight",
+    "migrate.link_drop": "DES pre-copy model: round transfer dies partway",
+    "migrate.round_stall": "DES pre-copy model: a copy round stalls",
+    "host.crash": "whole cluster host fails",
+    "vcpu.stall": "vCPU stops retiring instructions",
+    "overcommit.scan_stall": "page-sharing scan stalls this tick",
+    "overcommit.balloon_refuse": "guest balloon driver refuses an inflate",
+}
+
+
+def register_site(site: str, description: str = "") -> None:
+    """Declare a fault-injection site so plans may target it.
+
+    Idempotent for an identical re-registration; re-registering with a
+    *different* description is a likely copy-paste bug and rejected.
+    """
+    if not site:
+        raise ConfigError("fault site name must be non-empty")
+    existing = _KNOWN_SITES.get(site)
+    if existing is not None and description and existing != description:
+        raise ConfigError(
+            f"fault site {site!r} already registered with a different "
+            f"description"
+        )
+    if existing is None or description:
+        _KNOWN_SITES[site] = description or existing or ""
+
+
+def known_sites() -> Tuple[str, ...]:
+    """All registered site names, sorted."""
+    return tuple(sorted(_KNOWN_SITES))
+
+
 def _site_salt(site: str) -> int:
     """FNV-1a over the site name: a stable, process-independent salt.
 
@@ -87,6 +136,12 @@ class FaultSpec:
             raise ConfigError("fault count must be non-negative")
         if self.after < 0:
             raise ConfigError("fault 'after' must be non-negative")
+        if self.site not in _KNOWN_SITES:
+            raise ConfigError(
+                f"unknown fault site {self.site!r}; registered sites: "
+                f"{', '.join(known_sites())} "
+                f"(declare new ones with faults.injector.register_site)"
+            )
 
 
 @dataclass

@@ -1,0 +1,43 @@
+"""Directed-random differential fuzzing (robustness harness).
+
+Seeded guest-program generation (:mod:`repro.fuzz.gen`), differential
+execution across the interpreter, JIT, binary translator and both
+paging configurations (:mod:`repro.fuzz.diff`), parallel campaigns
+with manifests (:mod:`repro.fuzz.campaign`), automatic shrinking of
+failures (:mod:`repro.fuzz.shrink`), and a replayable corpus of
+minimal repros (:mod:`repro.fuzz.corpus`). Known-bug shims for
+catch-the-regression testing live in :mod:`repro.fuzz.bugs`.
+"""
+
+from repro.fuzz.campaign import manifest_identity, run_campaign
+from repro.fuzz.corpus import (
+    CORPUS_SCHEMA,
+    load_corpus,
+    load_entry,
+    make_entry,
+    replay_entry,
+    save_entry,
+    write_repro_script,
+)
+from repro.fuzz.diff import run_case, run_case_spec
+from repro.fuzz.gen import CaseSpec, build_image, derive_layout, generate_case
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "CORPUS_SCHEMA",
+    "CaseSpec",
+    "build_image",
+    "derive_layout",
+    "generate_case",
+    "load_corpus",
+    "load_entry",
+    "make_entry",
+    "manifest_identity",
+    "replay_entry",
+    "run_campaign",
+    "run_case",
+    "run_case_spec",
+    "save_entry",
+    "shrink_case",
+    "write_repro_script",
+]

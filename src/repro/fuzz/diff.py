@@ -1,0 +1,307 @@
+"""Differential execution of one fuzz case across every backend.
+
+Two comparison groups run the same guest image:
+
+* **bare** -- the reference interpreter vs. the block JIT on a raw
+  :class:`~repro.cpu.mmu.BareMMU` machine. The JIT's contract is
+  bit-identical state *including* cycles, instret, TLB statistics and
+  the full memory image, so everything is compared exactly.
+* **vmm** -- three full-virtualization configs under the hypervisor:
+  hardware-assist with shadow paging, hardware-assist with nested
+  paging, and binary translation (shadow). Only *guest-visible* state
+  is compared: registers, pc, the guest CSR view, halt state, pending
+  interrupt causes, console output, and guest memory with the
+  page-table span masked (the walker sets accessed/dirty bits at
+  TLB-miss time, which legitimately differs between shadow fills and
+  nested walks). Cycle counts are never compared across configs --
+  cost models differ by design -- and instret only between the two
+  hardware-assist configs (BT monitor callouts do not retire).
+
+Outcomes are normalized to classes first; a cycle-guard trip is a
+``hang`` (always a failure: some backend stopped making progress), and
+aborts (guest triple faults, runaway accesses past RAM) must at least
+be symmetric across a group.
+
+TRAP_EMULATE is deliberately excluded: VISA's sensitive-but-
+unprivileged instructions make it architecturally *wrong* (that is the
+paper's point), so differential equality cannot hold there.
+"""
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.cpu.interp import CPUCore, StopReason
+from repro.cpu.isa import CSR, DecodeError
+from repro.cpu.mmu import BareMMU
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.fuzz import gen
+from repro.mem.costs import CostModel
+from repro.mem.paging import PageFault
+from repro.mem.physmem import PhysicalMemory
+from repro.util.errors import ReproError
+
+DEFAULT_MAX_INSTRUCTIONS = 600
+
+#: CSRs that form the guest-visible control state (counters excluded).
+GUEST_CSRS = (CSR.MODE, CSR.PTBR, CSR.VBAR, CSR.IE, CSR.EPC, CSR.ECAUSE,
+              CSR.EVAL, CSR.SCRATCH, CSR.ESTATUS)
+
+VMM_CONFIGS: Tuple[Tuple[str, VirtMode, MMUVirtMode], ...] = (
+    ("hw-shadow", VirtMode.HW_ASSIST, MMUVirtMode.SHADOW),
+    ("hw-nested", VirtMode.HW_ASSIST, MMUVirtMode.NESTED),
+    ("bt-shadow", VirtMode.BINARY_TRANSLATION, MMUVirtMode.SHADOW),
+)
+
+_ABORTS = (ReproError, PageFault, DecodeError)
+
+
+def bare_cycle_guard(max_instructions: int) -> int:
+    """Generous ceiling: ~400 cycles/instruction plus slack. Tripping
+    it means some engine stopped retiring (a hang), not a tight run."""
+    return max_instructions * 400 + 50_000
+
+
+def vmm_cycle_guard(max_instructions: int) -> int:
+    """VMM runs pay world switches (1200c) and shadow fills (500c) per
+    instruction in the worst case; still a hang detector, not a race."""
+    return max_instructions * 4_000 + 400_000
+
+
+def _mask_pt_span(mem: bytes) -> bytes:
+    lo, hi = gen.PT_SPAN
+    return mem[:lo] + b"\x00" * (hi - lo) + mem[hi:]
+
+
+# -- bare group -------------------------------------------------------------
+
+
+def run_bare(segments: Dict[int, bytes], jit: bool,
+             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> Dict:
+    costs = CostModel()
+    pm = PhysicalMemory(gen.MEM_BYTES)
+    for addr in sorted(segments):
+        pm.write_bytes(addr, segments[addr])
+    mmu = BareMMU(pm, costs, tlb_entries=64)
+    cpu = CPUCore(mmu, costs, port_bus=None, jit=jit)
+    cpu.reset(gen.PRE_BASE)
+
+    outcome, abort = None, None
+    try:
+        result = cpu.run(max_instructions=max_instructions,
+                         cycle_guard=bare_cycle_guard(max_instructions))
+        outcome = {
+            StopReason.HALT: "halted",
+            StopReason.INSTR_LIMIT: "instr_limit",
+            StopReason.CYCLE_LIMIT: "hang",  # only the guard stops on cycles
+        }[result.stop]
+    except _ABORTS as exc:
+        outcome = "abort"
+        abort = f"{type(exc).__name__}: {exc}"
+
+    return {
+        "name": "jit" if jit else "interp",
+        "outcome": outcome,
+        "abort": abort,
+        "pc": cpu.pc,
+        "halted": cpu.halted,
+        "regs": list(cpu.regs),
+        "csr": list(cpu.csr),
+        "cycles": cpu.cycles,
+        "instret": cpu.instret,
+        "tlb": {
+            "hits": mmu.tlb.stats.hits,
+            "misses": mmu.tlb.stats.misses,
+            "flushes": mmu.tlb.stats.flushes,
+            "invalidations": mmu.tlb.stats.invalidations,
+            "evictions": mmu.tlb.stats.evictions,
+        },
+        "walker": {"walks": mmu.walker.walks, "faults": mmu.walker.faults},
+        "mem": pm.read_bytes(0, gen.MEM_BYTES),
+    }
+
+
+#: fields compared exactly between the interpreter and the JIT.
+_BARE_FIELDS = ("pc", "halted", "regs", "csr", "cycles", "instret",
+                "tlb", "walker", "mem")
+
+
+def compare_bare(a: Dict, b: Dict) -> List[str]:
+    if a["outcome"] != b["outcome"]:
+        return ["outcome"]
+    if a["outcome"] == "abort":
+        # Abort points are not microarchitecturally aligned (a compiled
+        # block may die mid-block); the abort itself must match.
+        return [] if a["abort"] == b["abort"] else ["abort"]
+    return [f for f in _BARE_FIELDS if a[f] != b[f]]
+
+
+# -- vmm group --------------------------------------------------------------
+
+
+def run_vmm(segments: Dict[int, bytes], config_name: str,
+            max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+            fault_rate: float = 0.0, fault_seed: int = 0) -> Dict:
+    virt_mode, mmu_mode = next(
+        (v, m) for n, v, m in VMM_CONFIGS if n == config_name
+    )
+    hv = Hypervisor(memory_bytes=8 * gen.MEM_BYTES, costs=CostModel(),
+                    tlb_entries=64)
+    vm = hv.create_vm(GuestConfig(
+        name="fuzz", memory_bytes=gen.MEM_BYTES, virt_mode=virt_mode,
+        mmu_mode=mmu_mode, tlb_entries=64, prealloc=True,
+        with_virtio=True, with_emulated_io=False,
+    ))
+    if fault_rate > 0.0:
+        # One shared, guest-driven site: virtio kicks are architecturally
+        # synchronous, so the same plan fires identically in every config.
+        vm.devices["virtio_blk"].injector = FaultInjector(FaultPlan(
+            seed=fault_seed,
+            specs=[FaultSpec("virtio.ring_stuck", rate=fault_rate)],
+        ))
+    for addr in sorted(segments):
+        vm.guest_mem.write_bytes(addr, segments[addr])
+    hv.reset_vcpu(vm, gen.PRE_BASE)
+
+    vcpu = vm.vcpus[0]
+    cpu = vcpu.cpu
+    hw = virt_mode is VirtMode.HW_ASSIST
+    outcome, abort = None, None
+    try:
+        res = hv.run(vm, max_guest_instructions=max_instructions,
+                     max_cycles=vmm_cycle_guard(max_instructions))
+        outcome = {
+            "halted": "halted",
+            "shutdown": "shutdown",
+            "instr_limit": "instr_limit",
+            "cycle_limit": "hang",
+            "hung": "hang",
+        }[res.value]
+    except _ABORTS as exc:
+        outcome = "abort"
+        abort = f"{type(exc).__name__}: {exc}"
+
+    csr_src = cpu.csr if hw else vcpu.vcsr
+    pending = cpu.pending_irqs if hw else vm.pending_virqs
+    return {
+        "name": config_name,
+        "outcome": outcome,
+        "abort": abort,
+        "pc": cpu.pc,
+        "halted": bool(cpu.halted or vcpu.halted),
+        "regs": list(cpu.regs),
+        "csr_view": {c.name: csr_src[c] for c in GUEST_CSRS},
+        "pending": sorted(c.name for c in pending),
+        "console": vm.devices["console"].text,
+        "instret": cpu.instret,
+        "mem": vm.guest_mem.read_bytes(0, gen.MEM_BYTES),
+    }
+
+
+#: guest-visible fields compared across VMM configs ("mem" is masked).
+_VMM_FIELDS = ("pc", "halted", "regs", "csr_view", "pending", "console")
+
+
+def compare_vmm(results: List[Dict]) -> Tuple[Optional[str], List[str],
+                                              Optional[Tuple[str, str]]]:
+    """Return (failure_kind, differing_fields, (name_a, name_b)).
+
+    failure_kind is None (agreement), "hang" (any backend tripped the
+    cycle guard), or "divergence".
+    """
+    by_name = {r["name"]: r for r in results}
+    if any(r["outcome"] == "hang" for r in results):
+        hung = [r["name"] for r in results if r["outcome"] == "hang"]
+        return "hang", ["outcome"], (hung[0], hung[0])
+
+    base = results[0]
+    for other in results[1:]:
+        if other["outcome"] != base["outcome"]:
+            return "divergence", ["outcome"], (base["name"], other["name"])
+
+    outcome = base["outcome"]
+    if outcome in ("abort", "shutdown"):
+        # Abort details and shutdown points are backend-timed; symmetric
+        # classes are all we require.
+        return None, [], None
+
+    def diff_state(a: Dict, b: Dict, with_instret: bool) -> List[str]:
+        fields = [f for f in _VMM_FIELDS if a[f] != b[f]]
+        if _mask_pt_span(a["mem"]) != _mask_pt_span(b["mem"]):
+            fields.append("mem")
+        if with_instret and a["instret"] != b["instret"]:
+            fields.append("instret")
+        return fields
+
+    hw_s, hw_n, bt = by_name["hw-shadow"], by_name["hw-nested"], by_name["bt-shadow"]
+    fields = diff_state(hw_s, hw_n, with_instret=True)
+    if fields:
+        return "divergence", fields, ("hw-shadow", "hw-nested")
+    if outcome == "halted":
+        # BT stops at the same architectural point on a halt; at an
+        # instruction limit it legitimately overshoots (its run loop is
+        # cycle-bounded), so BT state is only checked on clean exits.
+        fields = diff_state(hw_s, bt, with_instret=False)
+        if fields:
+            return "divergence", fields, ("hw-shadow", "bt-shadow")
+    return None, [], None
+
+
+# -- one full case ----------------------------------------------------------
+
+
+def default_opts() -> Dict:
+    return {"max_instructions": DEFAULT_MAX_INSTRUCTIONS,
+            "fault_rate": 0.0, "bug": None}
+
+
+def run_case_spec(spec: gen.CaseSpec, opts: Optional[Dict] = None) -> Dict:
+    """Execute one generated (or shrunk) case everywhere and compare."""
+    opts = {**default_opts(), **(opts or {})}
+    segments = gen.build_image(spec)
+    max_instructions = opts["max_instructions"]
+
+    from repro.fuzz.bugs import apply_bug
+
+    with apply_bug(opts.get("bug")):
+        interp = run_bare(segments, jit=False, max_instructions=max_instructions)
+        jit = run_bare(segments, jit=True, max_instructions=max_instructions)
+        vmm = [
+            run_vmm(segments, name, max_instructions=max_instructions,
+                    fault_rate=opts["fault_rate"],
+                    fault_seed=spec.root_seed ^ (spec.case_index * 2654435761))
+            for name, _v, _m in VMM_CONFIGS
+        ]
+
+    verdict = {"kind": "ok", "group": None, "fields": [], "pair": None}
+    bare_fields = compare_bare(interp, jit)
+    if interp["outcome"] == "hang" or jit["outcome"] == "hang":
+        verdict = {"kind": "hang", "group": "bare", "fields": ["outcome"],
+                   "pair": ("interp", "jit")}
+    elif bare_fields:
+        verdict = {"kind": "divergence", "group": "bare",
+                   "fields": bare_fields, "pair": ("interp", "jit")}
+    else:
+        kind, fields, pair = compare_vmm(vmm)
+        if kind is not None:
+            verdict = {"kind": kind, "group": "vmm", "fields": fields,
+                       "pair": pair}
+
+    return {
+        "index": spec.case_index,
+        "root_seed": spec.root_seed,
+        "ncells": len(spec.cells),
+        "body_instructions": spec.body_instructions,
+        "paging": spec.layout.paging,
+        "template_counts": spec.template_counts,
+        "verdict": verdict,
+        "outcomes": {r["name"]: r["outcome"]
+                     for r in [interp, jit] + vmm},
+        "aborts": {r["name"]: r["abort"]
+                   for r in [interp, jit] + vmm if r["abort"]},
+    }
+
+
+def run_case(root_seed: int, case_index: int,
+             opts: Optional[Dict] = None) -> Dict:
+    """Generate + execute case ``case_index``; pure in its arguments."""
+    return run_case_spec(gen.generate_case(root_seed, case_index), opts)

@@ -26,7 +26,7 @@ MANIFEST_SCHEMA = "pyvisor.metrics.manifest/1"
 #: Canonical subsystem groups, in the order the manifest reports them.
 SUBSYSTEMS = (
     "core", "devices", "sched", "migration", "overcommit", "faults",
-    "cluster", "sim", "trace", "host",
+    "fuzz", "cluster", "sim", "trace", "host",
 )
 
 #: One always-present counter per subsystem (incremented by the layer

@@ -51,9 +51,26 @@ class TestCSRs:
         assert vcpu.vcsr[CSR.PTBR] == 0x100000
         assert vcpu.cpu.mmu.guest_root == 0x100000
 
-    def test_readonly_csr_write_rejected(self, vcpu):
-        with pytest.raises(GuestError):
-            emulate_privileged(vcpu, ins(Op.CSRW, ra=1, simm12=int(CSR.MODE)))
+    def test_readonly_csr_write_reflects_illegal(self, vcpu):
+        # Native semantics: a write to a read-only CSR is an ILLEGAL
+        # trap delivered to the *guest*, not a host error. With a guest
+        # vector installed the trap is reflected there...
+        from repro.cpu.isa import Cause
+
+        vcpu.vcsr[CSR.VBAR] = 0x3000
+        name = emulate_privileged(vcpu, ins(Op.CSRW, ra=1,
+                                            simm12=int(CSR.MODE)))
+        assert name == "illegal_csr"
+        assert vcpu.cpu.pc == 0x3000
+        assert vcpu.vcsr[CSR.ECAUSE] == int(Cause.ILLEGAL)
+        assert vcpu.vcsr[CSR.EVAL] == int(CSR.MODE)
+        assert vcpu.vcsr[CSR.EPC] == 0x1000  # the faulting pc, not advanced
+
+    def test_unknown_csr_write_without_vector_triple_faults(self, vcpu):
+        from repro.cpu.exits import VMExit
+
+        with pytest.raises(VMExit):
+            emulate_privileged(vcpu, ins(Op.CSRW, ra=1, simm12=999))
 
 
 class TestModeChanges:

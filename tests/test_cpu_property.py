@@ -206,96 +206,54 @@ vec:
 
 # ---------------------------------------------------------------------------
 # Differential fuzz: reference interpreter vs closure-compiled blocks.
+#
+# Cases come from the shared ``repro.fuzz`` directed-random generator --
+# the same generator and corpus format `python -m repro fuzz` uses -- under
+# pinned seeds, so a failure here replays exactly as
+# ``run_bare(build_image(generate_case(seed, index)), jit=...)``.
 # ---------------------------------------------------------------------------
 
-_SLOTS = 24
+from repro.fuzz import gen as fuzz_gen
+from repro.fuzz.corpus import entry_spec, make_entry
+from repro.fuzz.diff import compare_bare, run_bare
 
-
-@st.composite
-def compute_slot(draw):
-    """One 8-byte slot of block-compiler-friendly code.
-
-    Every slot is padded to 8 bytes so branch/jump targets (always
-    slot-aligned) never land mid-instruction. Loads/stores use r1..r3 as
-    bases (seeded in-range, but ALU ops may clobber them -- stores that
-    then land in the code region exercise self-modifying-code handling,
-    and out-of-range accesses must raise identically on both engines).
-    """
-    kind = draw(st.sampled_from(["alu", "movi", "ld", "st", "branch", "jal"]))
-    if kind == "alu":
-        ins = _alu_ins(draw)
-    elif kind == "movi":
-        ins = encode(Op.MOVI, rd=draw(_REG), imm32=draw(_IMM32))
-    elif kind == "ld":
-        ins = encode(draw(st.sampled_from([Op.LD, Op.LDB])), rd=draw(_REG),
-                     ra=draw(st.integers(1, 3)),
-                     simm12=draw(st.integers(0, 255)))
-    elif kind == "st":
-        ins = encode(draw(st.sampled_from([Op.ST, Op.STB])),
-                     ra=draw(st.integers(1, 3)), rb=draw(_REG),
-                     simm12=draw(st.integers(0, 255)))
-    else:
-        target = 0x1000 + draw(st.integers(0, _SLOTS)) * 8
-        if kind == "branch":
-            op = draw(st.sampled_from([Op.BEQ, Op.BNE, Op.BLT, Op.BGE,
-                                       Op.BLTU, Op.BGEU]))
-            ins = encode(op, ra=draw(_REG), rb=draw(_REG), imm32=target)
-        else:
-            ins = encode(Op.JAL, rd=draw(_REG), imm32=target)
-    return ins + encode(Op.NOP) * ((8 - len(ins)) // 4)
+_PINNED_CASES = [(101, i) for i in range(12)] + [(202, i) for i in range(12)]
 
 
 class TestJITDifferential:
-    """Random programs must behave bit-identically with the block
-    compiler on and off: regs, CSRs, cycles, instret, pc, the delivered
-    trap sequence, and all of physical memory."""
+    """Directed-random guest programs must behave bit-identically with
+    the block compiler on and off: regs, CSRs, cycles, instret, pc, the
+    TLB/walker statistics, and all of physical memory."""
 
-    @staticmethod
-    def _run_engine(image, jit, seed_regs, max_instructions):
-        pm = PhysicalMemory(1 * MIB)
-        pm.write_bytes(0x1000, image)
-        pm.write_bytes(0x3000, encode(Op.IRET))
-        cpu = CPUCore(BareMMU(pm, CostModel()), jit=jit)
-        cpu.reset(0x1000)
-        cpu.csr[CSR.VBAR] = 0x3000
-        for idx, value in enumerate(seed_regs, start=1):
-            cpu.regs[idx] = value & _U32
-        traps = []
-        orig = cpu.deliver_trap
-
-        def record(info):
-            traps.append((int(info.cause), info.value, info.epc))
-            return orig(info)
-
-        cpu.deliver_trap = record
-        try:
-            outcome = cpu.run(max_instructions=max_instructions).stop.name
-        except Exception as exc:  # must raise identically on both engines
-            outcome = type(exc).__name__
-        return (
-            outcome, tuple(cpu.regs), tuple(cpu.csr), cpu.cycles,
-            cpu.instret, cpu.pc, cpu.halted, tuple(traps),
-            pm.read_bytes(0, pm.size),
+    @pytest.mark.parametrize("root_seed,case_index", _PINNED_CASES)
+    def test_fuzz_case_differential(self, root_seed, case_index):
+        spec = fuzz_gen.generate_case(root_seed, case_index)
+        segments = fuzz_gen.build_image(spec)
+        ref = run_bare(segments, jit=False)
+        jit = run_bare(segments, jit=True)
+        mismatched = compare_bare(ref, jit)
+        assert mismatched == [], (
+            f"interp vs jit diverged on {mismatched} "
+            f"(seed={root_seed} case={case_index} "
+            f"templates={spec.template_counts})"
         )
 
-    @settings(max_examples=120, deadline=None)
-    @given(st.lists(any_instruction(), min_size=1, max_size=40),
-           st.integers(min_value=0, max_value=3))
-    def test_mixed_program_differential(self, chunks, variant):
-        image = b"".join(chunks)
-        seeds = tuple(0x2000 + 0x1000 * i + variant * 4 for i in range(15))
-        ref = self._run_engine(image, False, seeds, 400)
-        jit = self._run_engine(image, True, seeds, 400)
-        assert ref == jit
+    def test_generated_cases_cover_templates(self):
+        # The pinned set must actually exercise the interesting
+        # templates, or the differential above tests very little.
+        seen = set()
+        for root_seed, case_index in _PINNED_CASES:
+            spec = fuzz_gen.generate_case(root_seed, case_index)
+            seen.update(spec.template_counts)
+        for name in ("smc_loop", "store_wild", "branch", "syscall"):
+            assert name in seen
 
-    @settings(max_examples=120, deadline=None)
-    @given(st.lists(compute_slot(), min_size=1, max_size=_SLOTS),
-           st.integers(min_value=0, max_value=3))
-    def test_compute_block_differential(self, slots, variant):
-        # Slot-aligned loops: real multi-iteration compiled blocks,
-        # including self-modifying stores into the code region.
-        image = b"".join(slots) + encode(Op.HLT)
-        seeds = (0x40000 + variant * 4, 0x41000, 0x42000)
-        ref = self._run_engine(image, False, seeds, 2000)
-        jit = self._run_engine(image, True, seeds, 2000)
-        assert ref == jit
+    def test_corpus_format_round_trip(self):
+        # The corpus entry format used by the fuzz CLI is the same one
+        # these tests consume: identity -> layout, cells -> image.
+        spec = fuzz_gen.generate_case(303, 0)
+        entry = make_entry(303, 0, spec.cells, {"bug": None},
+                           {"kind": "ok"})
+        again = entry_spec(entry)
+        assert again.cells == spec.cells
+        assert fuzz_gen.build_image(again) == fuzz_gen.build_image(spec)

@@ -115,6 +115,25 @@ class TestVirtQueue:
         assert queue.pop_avail() == 9
         assert queue.pop_avail() is None
 
+    def test_pop_avail_rejects_corrupt_index(self, env):
+        # Found by the differential fuzzer: a wild guest store (or a
+        # corrupt descriptor steering completion writes into the avail
+        # ring) can push avail.idx arbitrarily far ahead; chasing it
+        # wedged the host in the kick drain loop forever. More pending
+        # entries than the ring holds is always driver corruption.
+        pm, _, _ = env
+        queue = VirtQueue(pm)
+        queue.desc_gpa, queue.avail_gpa, queue.used_gpa, queue.size = (
+            DESC, AVAIL, USED, 16)
+        pm.write_u32(AVAIL, 17)  # 17 pending > 16 slots
+        with pytest.raises(DeviceError, match="corrupt index"):
+            queue.pop_avail()
+        # Exactly ring-size pending is still legal (full ring).
+        pm.write_u32(AVAIL, 16)
+        for slot in range(16):
+            pm.write_u32(AVAIL + 4 + slot * 4, slot % 3)
+        assert queue.pop_avail() == 0
+
     def test_push_used_advances_index(self, env):
         pm, _, _ = env
         queue = VirtQueue(pm)

@@ -90,11 +90,44 @@ def test_unplanned_site_never_fires_and_never_perturbs_others():
 
 def test_plan_validation():
     with pytest.raises(ConfigError):
-        FaultPlan(seed=1, specs=[FaultSpec("x", rate=1.5)]).validate()
+        FaultPlan(seed=1, specs=[FaultSpec("link.drop", rate=1.5)]).validate()
     with pytest.raises(ConfigError):
         FaultPlan(
-            seed=1, specs=[FaultSpec("x", rate=0.1), FaultSpec("x", rate=0.2)]
+            seed=1,
+            specs=[FaultSpec("link.drop", rate=0.1),
+                   FaultSpec("link.drop", rate=0.2)],
         ).validate()
+
+
+def test_unknown_site_rejected_at_plan_build():
+    # The typo'd site must fail loudly at validate() time, not silently
+    # never fire at run time.
+    with pytest.raises(ConfigError, match="unknown fault site"):
+        FaultPlan(
+            seed=1, specs=[FaultSpec("migrate.link_drp", rate=1.0)]
+        ).validate()
+    with pytest.raises(ConfigError, match="unknown fault site"):
+        FaultInjector(FaultPlan.from_rates(seed=1, rates={"nope.site": 0.5}))
+
+
+def test_register_site_extends_registry():
+    from repro.faults.injector import known_sites, register_site
+
+    assert "migrate.link_drop" in known_sites()
+    register_site("test.custom_site", "unit-test-only site")
+    try:
+        FaultPlan(
+            seed=1, specs=[FaultSpec("test.custom_site", rate=1.0)]
+        ).validate()
+        # Idempotent re-registration is fine; a conflicting description
+        # is rejected.
+        register_site("test.custom_site", "unit-test-only site")
+        with pytest.raises(ConfigError):
+            register_site("test.custom_site", "a different description")
+    finally:
+        from repro.faults import injector as _inj
+
+        _inj._KNOWN_SITES.pop("test.custom_site", None)
 
 
 # -- watchdog + device timeout monitor ---------------------------------------

@@ -1,0 +1,148 @@
+"""Differential fuzzer tests: determinism, shrinking, bug shims, corpus.
+
+The fuzzer's whole value is byte-reproducibility: the same root seed
+must generate the same cases, campaigns must not depend on worker
+count, and the shrinker must produce the same minimal repro every
+time. The committed corpus under ``tests/fuzz_corpus/`` is replayed
+both ways -- it must still flag under the bug shim it was recorded
+against and must pass clean at HEAD.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz import gen
+from repro.fuzz.bugs import apply_bug, known_bugs
+from repro.fuzz.campaign import manifest_identity, run_campaign
+from repro.fuzz.corpus import load_corpus, replay_entry
+from repro.fuzz.diff import default_opts, run_case
+from repro.fuzz.shrink import shrink_case
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+#: A case that diverges under the reintroduced PR-5 trap-vector bug
+#: (found by campaign, pinned here so the shrinker tests are fast).
+PR5_SEED, PR5_CASE = 7, 17
+
+
+# -- generator determinism --------------------------------------------------
+
+
+class TestGeneratorDeterminism:
+    def test_same_seed_same_cases(self):
+        for index in range(8):
+            a = gen.generate_case(41, index)
+            b = gen.generate_case(41, index)
+            assert a.cells == b.cells
+            assert a.layout == b.layout
+            assert a.template_counts == b.template_counts
+
+    def test_different_seeds_differ(self):
+        a = gen.generate_case(41, 0)
+        b = gen.generate_case(42, 0)
+        assert a.cells != b.cells
+
+    def test_layout_rederives_from_identity(self):
+        spec = gen.generate_case(43, 5)
+        assert gen.derive_layout(43, 5) == spec.layout
+
+    def test_image_segments_fit_memory(self):
+        for index in range(6):
+            spec = gen.generate_case(44, index)
+            for addr, data in gen.build_image(spec).items():
+                assert addr + len(data) <= gen.MEM_BYTES
+
+
+# -- campaign ---------------------------------------------------------------
+
+
+class TestCampaign:
+    def test_jobs_do_not_change_results(self, tmp_path):
+        # Worker fan-out is an implementation detail: the manifest
+        # (minus wall-clock timing) must be byte-identical.
+        opts = default_opts()
+        serial = run_campaign(61, 10, jobs=1, opts=opts)
+        fanned = run_campaign(61, 10, jobs=2, opts=opts)
+        assert (manifest_identity(serial["manifest"])
+                == manifest_identity(fanned["manifest"]))
+
+    def test_clean_campaign_has_no_failures(self):
+        out = run_campaign(61, 6, jobs=1, opts=default_opts())
+        assert out["failures"] == []
+        fz = out["manifest"]["extra"]["fuzz"]
+        assert fz["cases"] == 6
+        assert sum(fz["outcome_classes"].values()) >= 6
+
+    def test_campaign_writes_artifacts(self, tmp_path):
+        opts = default_opts()
+        opts["bug"] = "pr5-vector-loop"
+        out = run_campaign(PR5_SEED, PR5_CASE + 1, jobs=1, opts=opts,
+                           shrink=True, out_dir=str(tmp_path))
+        assert out["failures"]
+        names = sorted(os.listdir(tmp_path))
+        assert "manifest.json" in names
+        assert any(n.startswith("repro-") and n.endswith(".json")
+                   for n in names)
+        assert any(n.endswith(".py") for n in names)
+
+
+# -- bug shims and shrinking ------------------------------------------------
+
+
+class TestBugShims:
+    def test_known_bugs_listed(self):
+        assert "pr5-vector-loop" in known_bugs()
+        assert "bt-stale-smc" in known_bugs()
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            with apply_bug("no-such-bug"):
+                pass
+
+    def test_pr5_bug_caught_and_shrinks_small(self):
+        opts = default_opts()
+        opts["bug"] = "pr5-vector-loop"
+        original = run_case(PR5_SEED, PR5_CASE, opts)
+        assert original["verdict"]["kind"] != "ok"
+        shrunk = shrink_case(PR5_SEED, PR5_CASE, opts, original)
+        assert shrunk["result"]["verdict"]["kind"] != "ok"
+        assert shrunk["body_instructions"] < 20
+
+    def test_shrinker_is_deterministic(self):
+        opts = default_opts()
+        opts["bug"] = "pr5-vector-loop"
+        original = run_case(PR5_SEED, PR5_CASE, opts)
+        a = shrink_case(PR5_SEED, PR5_CASE, opts, original)
+        b = shrink_case(PR5_SEED, PR5_CASE, opts, original)
+        assert a["cells"] == b["cells"]  # byte-identical minimal repro
+        assert a["evals"] == b["evals"]
+
+
+# -- committed corpus -------------------------------------------------------
+
+
+def _corpus_entries():
+    return load_corpus(CORPUS_DIR)
+
+
+class TestCorpusReplay:
+    def test_corpus_is_nonempty(self):
+        entries = _corpus_entries()
+        assert len(entries) >= 2
+        bugs = {e["opts"].get("bug") for e in entries}
+        assert "pr5-vector-loop" in bugs
+        assert "bt-stale-smc" in bugs
+
+    @pytest.mark.parametrize(
+        "entry", _corpus_entries(),
+        ids=lambda e: f"{e['opts'].get('bug')}-s{e['root_seed']}"
+                      f"-c{e['case_index']}")
+    def test_entry_flags_under_shim_and_passes_at_head(self, entry):
+        buggy = replay_entry(entry, with_bug=True)
+        assert buggy["verdict"]["kind"] == entry["verdict"]["kind"]
+        clean = replay_entry(entry, with_bug=False)
+        assert clean["verdict"]["kind"] == "ok", (
+            "committed corpus repro regressed at HEAD: "
+            f"{clean['verdict']}"
+        )
