@@ -85,6 +85,9 @@ class ExperimentResult:
     raw: Dict[str, Any] = field(default_factory=dict)
     #: The run's shared registry, when the experiment threads one.
     metrics: Optional[MetricsRegistry] = None
+    #: A pre-built manifest, for sharded experiments whose metrics live
+    #: in per-shard registries and arrive already merged+finalized.
+    manifest_data: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         return self.table.render()
@@ -94,7 +97,11 @@ class ExperimentResult:
 
         Experiments that did not thread a registry still produce a
         valid (baseline-only) manifest, so ``--json`` works uniformly.
+        Sharded experiments set :attr:`manifest_data` instead, and it
+        is returned as-is -- its extras were fixed at merge time.
         """
+        if self.manifest_data is not None:
+            return self.manifest_data
         registry = self.metrics if self.metrics is not None else new_run_registry()
         return build_manifest(registry, experiment=self.experiment, extra=extra)
 

@@ -53,6 +53,8 @@ from repro.faults import (
 from repro.guest import KernelOptions, build_kernel, read_diag, workloads
 from repro.guest.workloads import expected_memtouch
 from repro.migration import LiveMigrator
+from repro.obs.registry import MetricsRegistry
+from repro.sim.shard import parallel_map
 from repro.util.errors import GuestError
 from repro.util.table import Table
 from repro.util.units import GIB
@@ -339,7 +341,23 @@ def _cascade_case(k: int, protected: bool,
     }
 
 
-def run_e10_cascade(quick: bool = False) -> ExperimentResult:
+def _cascade_case_with_registry(task):
+    """Worker-side sweep point: runs one case against its own fresh
+    registry, which the parent folds into the run registry in sweep
+    order -- the shared-registry result, reconstructed shard by shard
+    (counters add, gauges take the later value, histograms extend)."""
+    k, protected = task
+    registry = MetricsRegistry()
+    case = _cascade_case(k, protected, registry)
+    return case, registry
+
+
+def _cascade_shard(tasks):
+    return [_cascade_case_with_registry(t) for t in tasks]
+
+
+def run_e10_cascade(quick: bool = False, shards: int = 1,
+                    jobs: int = 1) -> ExperimentResult:
     """E10-cascade: availability vs simultaneous-failure count.
 
     For each ``k``, the unconstrained baseline is recovered next to a
@@ -348,8 +366,19 @@ def run_e10_cascade(quick: bool = False) -> ExperimentResult:
     utilization up front for headroom, so the protected fleet must lose
     strictly fewer admitted VMs than the baseline at every ``k >= 2``
     (asserted by the benchmark suite as ``raw['dominates']``).
+
+    Cases are pure in ``(k, protected)``: each runs against a private
+    registry, and the parent merges per-case registries in sweep order,
+    so ``shards``/``jobs`` fan the sweep out without changing a byte.
     """
     ks = (1, 2) if quick else (1, 2, 3)
+    cases = [(k, protected) for k in ks for protected in (False, True)]
+    groups = [tuple(cases[s::shards]) for s in range(shards)]
+    flat = [r for group in parallel_map(_cascade_shard, groups, jobs=jobs)
+            for r in group]
+    by_case = {case: result
+               for case, result in zip([c for g in groups for c in g], flat)}
+
     registry = new_run_registry()
     table = Table(
         "E10-cascade: k simultaneous host failures + 1 mid-recovery "
@@ -361,7 +390,8 @@ def run_e10_cascade(quick: bool = False) -> ExperimentResult:
     raw: Dict[str, object] = {"baseline": {}, "protected": {}}
     for k in ks:
         for label, protected in (("baseline", False), ("protected", True)):
-            case = _cascade_case(k, protected, registry)
+            case, case_registry = by_case[(k, protected)]
+            registry.merge(case_registry)
             raw[label][k] = case
             report = case["report"]
             table.add_row(

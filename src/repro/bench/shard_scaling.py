@@ -1,0 +1,155 @@
+"""Shard-scaling benchmark: wall-clock versus worker count.
+
+Runs one fixed sharded cluster configuration at increasing ``--jobs``
+and reports wall-clock speedup over the single-worker run, plus the
+merged-manifest sha256 per point -- which must be identical at every
+point (``parity_ok``), the whole point of the determinism contract.
+
+The payload lands in ``BENCH_SHARD.json``. Speedup is a property of
+the machine: the recorded ``cpu_count`` travels with the numbers, and
+:meth:`ShardBenchResult.check_baseline` only gates on speedup when the
+baseline was measured on a machine with the same core count (a 1-core
+CI runner cannot regress a 8-core baseline's parallel speedup).
+"""
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.cluster.coordinator import ClusterSimConfig, run_sharded_cluster
+from repro.util.table import Table
+
+BENCH_SHARD_SCHEMA = "pyvisor.bench.shard/1"
+
+#: A run must keep >= 80% of the baseline's speedup at each jobs count.
+REGRESSION_TOLERANCE = 0.8
+
+#: Seed for the scaling measurement; independent of E8s's sweep.
+SHARD_BENCH_SEED = 5209
+
+
+@dataclass
+class ShardBenchResult:
+    """Scaling points plus the JSON payload and rendered table."""
+
+    quick: bool
+    shards: int
+    fleet_size: int
+    epochs: int
+    cpu_count: int
+    points: List[Dict[str, Any]]  # {jobs, wall_s, speedup, manifest_sha}
+    parity_ok: bool
+    table: Table
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        return self.table.render()
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "schema": BENCH_SHARD_SCHEMA,
+            "quick": self.quick,
+            "shards": self.shards,
+            "fleet_size": self.fleet_size,
+            "epochs": self.epochs,
+            "cpu_count": self.cpu_count,
+            "host": {
+                "python": sys.version.split()[0],
+                "implementation": platform.python_implementation(),
+                "machine": platform.machine(),
+            },
+            "points": [
+                {**p, "wall_s": round(p["wall_s"], 4),
+                 "speedup": round(p["speedup"], 4)}
+                for p in self.points
+            ],
+            "parity_ok": self.parity_ok,
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(self.to_json(), indent=2, sort_keys=True)
+                     + "\n")
+
+    def check_baseline(self, baseline: Dict[str, Any]) -> List[str]:
+        """Gate on manifest parity always; on speedup only same-machine.
+
+        Parity is a correctness property and machine-independent.
+        Speedup is hardware: comparing against a baseline recorded on
+        a different core count would fail every heterogeneous CI
+        runner, so those points are skipped (with no failure). Points
+        where the baseline itself saw no speedup (< 1.0x, e.g. any
+        jobs > 1 on a single-core machine) are skipped too: there is
+        no parallel win to regress, only fork-overhead noise.
+        """
+        failures: List[str] = []
+        if not self.parity_ok:
+            failures.append("manifest parity broken across --jobs values")
+        if baseline.get("cpu_count") != self.cpu_count:
+            return failures
+        floors = {p["jobs"]: p["speedup"]
+                  for p in baseline.get("points", [])}
+        mine = {p["jobs"]: p["speedup"] for p in self.points}
+        for jobs, floor in sorted(floors.items()):
+            got = mine.get(jobs)
+            if got is None:
+                failures.append(f"jobs={jobs}: missing from this run")
+            elif floor < 1.0:
+                continue
+            elif got < floor * REGRESSION_TOLERANCE:
+                failures.append(
+                    f"jobs={jobs}: speedup {got:.2f}x is more than 20% "
+                    f"below the baseline {floor:.2f}x")
+        return failures
+
+
+def run_shard_scaling(
+    quick: bool = False,
+    fleet_size: Optional[int] = None,
+    shards: int = 8,
+    epochs: Optional[int] = None,
+    jobs_list: Optional[Sequence[int]] = None,
+) -> ShardBenchResult:
+    """Measure wall-clock vs ``jobs`` at a fixed shard count."""
+    if fleet_size is None:
+        fleet_size = 400 if quick else 4000
+    if epochs is None:
+        epochs = 3 if quick else 6
+    if jobs_list is None:
+        jobs_list = (1, 2, 4) if quick else (1, 2, 4, 8)
+    config = ClusterSimConfig(
+        fleet_size=fleet_size, shards=shards, epochs=epochs,
+        seed=SHARD_BENCH_SEED, crash_rate=0.01, arrivals_per_epoch=4)
+
+    cpu_count = os.cpu_count() or 1
+    table = Table(
+        f"shard scaling: {fleet_size} VMs, {shards} shards, "
+        f"{epochs} epochs on {cpu_count} cores"
+        f"{' (quick)' if quick else ''}",
+        ["jobs", "wall s", "speedup", "manifest sha", "parity"],
+    )
+    points: List[Dict[str, Any]] = []
+    base_wall = None
+    base_sha = None
+    for jobs in jobs_list:
+        report = run_sharded_cluster(config, jobs=jobs, experiment="E8s")
+        if base_wall is None:
+            base_wall = report.wall_s
+            base_sha = report.sha256
+        points.append({
+            "jobs": jobs,
+            "wall_s": report.wall_s,
+            "speedup": base_wall / report.wall_s if report.wall_s else 1.0,
+            "manifest_sha": report.sha256,
+        })
+        table.add_row(jobs, round(report.wall_s, 2),
+                      f"{points[-1]['speedup']:.2f}x",
+                      report.sha256[:12], report.sha256 == base_sha)
+    parity_ok = all(p["manifest_sha"] == base_sha for p in points)
+    return ShardBenchResult(
+        quick=quick, shards=shards, fleet_size=fleet_size, epochs=epochs,
+        cpu_count=cpu_count, points=points, parity_ok=parity_ok,
+        table=table)

@@ -27,6 +27,7 @@ from repro.bench import (
     run_e7_controller,
     run_e7_functional,
     run_e8,
+    run_e8_scale,
     run_e9_bt,
     run_e9_exit_cost,
     run_e10,
@@ -46,6 +47,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e7f": run_e7_functional,
     "e7c": run_e7_controller,
     "e8": run_e8,
+    "e8s": run_e8_scale,
     "e9a": run_e9_exit_cost,
     "e9b": run_e9_bt,
     "e10": run_e10,
@@ -53,7 +55,15 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 #: Experiments accepting a ``quick`` kwarg (smaller, CI-friendly run).
-QUICK_AWARE = {"e10", "e10c", "e7c"}
+QUICK_AWARE = {"e10", "e10c", "e7c", "e8s"}
+
+#: Experiments accepting ``shards``/``jobs`` kwargs. For e8s the shard
+#: count is part of the experiment identity (it partitions the RNG
+#: streams); ``jobs`` never changes any experiment's output.
+SHARD_AWARE = {"e6", "e8s", "e10c"}
+
+#: Default fault-schedule rate for fuzz campaigns (see --no-faults).
+DEFAULT_FUZZ_FAULT_RATE = 0.05
 
 MODES = {
     "native": (None, None, False),
@@ -95,10 +105,19 @@ def _cmd_run(args) -> int:
             print(f"unknown experiment {key!r}; try: {' '.join(EXPERIMENTS)}",
                   file=sys.stderr)
             return 2
-        quick = getattr(args, "quick", False) and key in QUICK_AWARE
+        kwargs = {}
+        if getattr(args, "quick", False) and key in QUICK_AWARE:
+            kwargs["quick"] = True
+        if key in SHARD_AWARE:
+            if getattr(args, "shards", None):
+                kwargs["shards"] = args.shards
+            if getattr(args, "jobs", None):
+                kwargs["jobs"] = args.jobs
+        if key == "e8s" and getattr(args, "fleet", None):
+            kwargs["fleet_sizes"] = [args.fleet]
         if profiler is not None:
             profiler.enable()
-        result = fn(quick=True) if quick else fn()
+        result = fn(**kwargs)
         if profiler is not None:
             profiler.disable()
         if getattr(args, "json", False):
@@ -143,6 +162,32 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_shardbench(args) -> int:
+    from repro.bench.shard_scaling import run_shard_scaling
+
+    result = run_shard_scaling(quick=args.quick)
+    result.write(args.out)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.render())
+        print(f"\nwrote {args.out}")
+    if not result.parity_ok:
+        print("shardbench: manifest parity broken across --jobs values",
+              file=sys.stderr)
+        return 1
+    if args.baseline:
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = result.check_baseline(baseline)
+        if failures:
+            for failure in failures:
+                print(f"shard scaling regression: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed ({args.baseline})", file=sys.stderr)
+    return 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz import load_corpus, replay_entry, run_campaign
     from repro.fuzz.bugs import known_bugs
@@ -175,7 +220,15 @@ def _cmd_fuzz(args) -> int:
     opts = default_opts()
     if args.max_instructions is not None:
         opts["max_instructions"] = args.max_instructions
-    opts["fault_rate"] = args.faults
+    # Fault-schedule differential runs are on by default: every config
+    # also executes under a seeded virtio.ring_stuck schedule, which
+    # has to agree across backends just like the fault-free run.
+    if args.no_faults:
+        opts["fault_rate"] = 0.0
+    elif args.faults is not None:
+        opts["fault_rate"] = args.faults
+    else:
+        opts["fault_rate"] = DEFAULT_FUZZ_FAULT_RATE
     opts["bug"] = args.bug
 
     out = run_campaign(args.seed, args.cases, jobs=max(1, args.jobs),
@@ -251,6 +304,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     run_p.add_argument("--profile", action="store_true",
                        help="dump a cProfile report (top 25 by cumulative "
                             "time) to stderr after the run")
+    run_p.add_argument("--shards", type=int, default=None,
+                       help="shard count for shard-aware experiments "
+                            "(e6, e8s, e10c); for e8s this is part of "
+                            "the run's identity")
+    run_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes for shard-aware "
+                            "experiments; results are independent of "
+                            "this (default 1)")
+    run_p.add_argument("--fleet", type=int, default=None,
+                       help="e8s only: run one fleet size instead of "
+                            "the default sweep")
 
     perf_p = sub.add_parser(
         "perf", help="measure host throughput (guest-MIPS, interp vs jit)"
@@ -264,6 +328,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     perf_p.add_argument("--baseline",
                         help="baseline JSON; exit 1 if any speedup ratio "
                              "regresses more than 20%% below it")
+
+    shard_p = sub.add_parser(
+        "shardbench",
+        help="measure sharded-cluster wall-clock vs --jobs and check "
+             "manifest parity",
+    )
+    shard_p.add_argument("--quick", action="store_true",
+                         help="small CI-friendly configuration")
+    shard_p.add_argument("--out", default="BENCH_SHARD.json",
+                         help="output JSON path (default BENCH_SHARD.json)")
+    shard_p.add_argument("--json", action="store_true",
+                         help="print the JSON payload instead of the table")
+    shard_p.add_argument("--baseline",
+                         help="baseline JSON; exit 1 on parity breakage or "
+                              "(same-core-count machines only) speedups "
+                              "more than 20%% below it")
 
     boot_p = sub.add_parser("boot", help="boot NanoOS with a workload")
     boot_p.add_argument("--mode", default="hw-nested")
@@ -284,9 +364,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="shrink failing cases to minimal repros")
     fuzz_p.add_argument("--max-instructions", type=int, default=None,
                         help="guest instruction budget per case")
-    fuzz_p.add_argument("--faults", type=float, default=0.0, metavar="RATE",
-                        help="also run each config under a seeded "
-                             "virtio.ring_stuck fault schedule")
+    fuzz_p.add_argument("--faults", type=float, default=None, metavar="RATE",
+                        help="fault-schedule rate for the seeded "
+                             "virtio.ring_stuck differential runs "
+                             f"(default {DEFAULT_FUZZ_FAULT_RATE})")
+    fuzz_p.add_argument("--no-faults", action="store_true",
+                        help="disable the fault-schedule differential "
+                             "runs (fault-free configs only)")
     fuzz_p.add_argument("--bug", default=None,
                         help="apply a known-bug shim (see repro.fuzz.bugs) "
                              "to verify the harness catches it")
@@ -305,6 +389,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "perf":
         return _cmd_perf(args)
+    if args.command == "shardbench":
+        return _cmd_shardbench(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     return _cmd_boot(args)

@@ -18,10 +18,21 @@ Models a fleet of physical hosts running many VMs:
 * :mod:`repro.cluster.resilience` -- the failure-domain-aware control
   plane (experiment E10): anti-affinity/N+1-constrained placement and
   the detect→evacuate→re-place→verify loop that survives cascading
-  host crashes under continuous fault injection.
+  host crashes under continuous fault injection;
+* :mod:`repro.cluster.coordinator` -- the scale-out path: hosts
+  partitioned into shards with private clocks/RNGs/registries that
+  advance concurrently between epoch barriers, where a coordinator
+  runs the global decisions and per-shard manifests merge
+  byte-reproducibly (experiment E8s).
 """
 
-from repro.cluster.host import HostSpec, VMSpec, Host, Placement
+from repro.cluster.host import HostSpec, VMSpec, Host, HostSummary, Placement
+from repro.cluster.coordinator import (
+    ClusterSimConfig,
+    ClusterSimReport,
+    ShardState,
+    run_sharded_cluster,
+)
 from repro.cluster.placement import (
     AdmissionError,
     ConstraintSet,
@@ -40,7 +51,12 @@ from repro.cluster.placement import (
 from repro.cluster.resilience import ResilienceController, ResilienceReport
 from repro.cluster.interference import host_performance, HostPerformance
 from repro.cluster.power import PowerModel, ConsolidationSavings, consolidation_savings
-from repro.cluster.balancer import LoadBalancer, BalanceReport
+from repro.cluster.balancer import (
+    LoadBalancer,
+    BalanceReport,
+    RebalanceMove,
+    plan_rebalance,
+)
 from repro.cluster.workgen import (
     DEFAULT_CATALOGUE,
     VMClass,
@@ -52,7 +68,12 @@ __all__ = [
     "HostSpec",
     "VMSpec",
     "Host",
+    "HostSummary",
     "Placement",
+    "ClusterSimConfig",
+    "ClusterSimReport",
+    "ShardState",
+    "run_sharded_cluster",
     "AdmissionError",
     "ConstraintSet",
     "EvacuationConfig",
@@ -75,6 +96,8 @@ __all__ = [
     "consolidation_savings",
     "LoadBalancer",
     "BalanceReport",
+    "RebalanceMove",
+    "plan_rebalance",
     "VMClass",
     "DEFAULT_CATALOGUE",
     "generate_fleet",

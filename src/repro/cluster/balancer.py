@@ -9,9 +9,9 @@ link, so concurrent rebalancing decisions queue on real bandwidth.
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cluster.host import Host, Placement, VMSpec
+from repro.cluster.host import Host, HostSummary, Placement, VMSpec
 from repro.cluster.placement import ConstraintSet
 from repro.migration.model import MigrationConfig, simulate_precopy
 from repro.obs.clock import SimClock
@@ -153,3 +153,88 @@ class LoadBalancer:
             dirty_rate_pps=self.dirty_rate_pps,
         )
         return simulate_precopy(cfg, self.link, metrics=self.metrics)
+
+
+# -- coordinator-side planning over summaries --------------------------------
+
+
+@dataclass(frozen=True)
+class RebalanceMove:
+    """One planned migration: move ``vm`` from ``src`` to ``dst`` host."""
+
+    vm: VMSpec
+    src: str
+    dst: str
+    src_shard: int
+    dst_shard: int
+
+
+class _WorkingHost:
+    """Mutable per-host load the planner updates as it commits moves."""
+
+    __slots__ = ("summary", "cpu_demand", "memory_free", "vms")
+
+    def __init__(self, summary: HostSummary):
+        self.summary = summary
+        self.cpu_demand = summary.cpu_demand
+        self.memory_free = summary.memory_free
+        self.vms: Dict[str, VMSpec] = {vm.name: vm for vm in summary.vms}
+
+    @property
+    def utilization(self) -> float:
+        return self.cpu_demand / self.summary.cpu_capacity
+
+
+def plan_rebalance(summaries: Sequence[HostSummary],
+                   high_watermark: float = 0.85,
+                   low_watermark: float = 0.70,
+                   max_moves: int = 8) -> List[RebalanceMove]:
+    """The :meth:`LoadBalancer._pick_move` greedy, lifted to summaries.
+
+    The sharded coordinator cannot touch live hosts, so it plans
+    against :class:`HostSummary` snapshots at the epoch barrier and
+    ships each move as a depart/arrive message pair. Moves are applied
+    to a working copy as they are planned, so later picks see earlier
+    decisions. Determinism: ties in the max/min selections resolve to
+    the first candidate in ``summaries`` order, which callers keep in
+    (shard, host index) order.
+    """
+    if not 0 < low_watermark <= high_watermark <= 1.5:
+        raise ConfigError("watermarks must satisfy 0 < low <= high")
+    hosts = [_WorkingHost(s) for s in summaries]
+    moves: List[RebalanceMove] = []
+    for _ in range(max_moves):
+        overloaded = [h for h in hosts
+                      if h.summary.alive and h.vms
+                      and h.utilization > high_watermark]
+        if not overloaded:
+            break
+        source = max(overloaded, key=lambda h: h.utilization)
+        excess = (source.cpu_demand
+                  - high_watermark * source.summary.cpu_capacity)
+        candidates = sorted(source.vms.values(),
+                            key=lambda v: (v.cpu_demand, v.name))
+        vm = next((v for v in candidates if v.cpu_demand >= excess), None)
+        if vm is None:
+            vm = candidates[-1]  # biggest we have; partial relief
+        targets = [
+            h for h in hosts
+            if h is not source
+            and h.summary.alive
+            and vm.memory_bytes <= h.memory_free
+            and ((h.cpu_demand + vm.cpu_demand)
+                 / h.summary.cpu_capacity) <= low_watermark
+        ]
+        if not targets:
+            break
+        target = min(targets, key=lambda h: h.utilization)
+        del source.vms[vm.name]
+        source.cpu_demand -= vm.cpu_demand
+        source.memory_free += vm.memory_bytes
+        target.vms[vm.name] = vm
+        target.cpu_demand += vm.cpu_demand
+        target.memory_free -= vm.memory_bytes
+        moves.append(RebalanceMove(
+            vm=vm, src=source.summary.name, dst=target.summary.name,
+            src_shard=source.summary.shard, dst_shard=target.summary.shard))
+    return moves

@@ -1,7 +1,7 @@
 """Host and VM specifications, and placements of VMs onto hosts."""
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.obs.registry import MetricsRegistry, counter_attr
 from repro.util.errors import ConfigError
@@ -135,12 +135,72 @@ class Host:
         except KeyError:
             raise ConfigError(f"VM {name} not on {self.name}") from None
 
+    def summary(self, shard: int = 0) -> "HostSummary":
+        """A frozen, picklable snapshot for coordinator-side decisions.
+
+        Sharded runs never ship live :class:`Host` objects across the
+        epoch barrier (they drag their metrics scope, and hence the
+        whole shard registry, along). The coordinator plans against
+        summaries and sends its decisions back as messages.
+        """
+        return HostSummary(
+            name=self.name,
+            index=self.index,
+            shard=shard,
+            domain=self.domain,
+            alive=self.alive,
+            cpu_capacity=self.spec.cpu_capacity,
+            memory_bytes=self.spec.memory_bytes,
+            vms=tuple(self.vms[name] for name in sorted(self.vms)),
+        )
+
     def __repr__(self) -> str:
         return (
             f"<Host {self.name} {len(self.vms)} VMs, "
             f"cpu {self.cpu_demand:.1f}/{self.spec.cpu_capacity}, "
             f"mem {self.memory_used / MIB:.0f}/{self.spec.memory_bytes / MIB:.0f} MiB>"
         )
+
+
+@dataclass(frozen=True)
+class HostSummary:
+    """Coordinator-side view of one host at an epoch barrier.
+
+    Carries everything the global decisions (admission, rebalancing,
+    evacuation re-placement, N+1 checks) need -- capacity, liveness,
+    failure domain, and the resident :class:`VMSpec` set -- and nothing
+    that aliases shard state. VMs are listed in sorted-name order so
+    two runs producing the same placement produce identical summaries.
+    """
+
+    name: str
+    index: int
+    shard: int
+    domain: str
+    alive: bool
+    cpu_capacity: float
+    memory_bytes: int
+    vms: Tuple[VMSpec, ...] = ()
+
+    @property
+    def cpu_demand(self) -> float:
+        return sum(vm.cpu_demand for vm in self.vms)
+
+    @property
+    def cpu_utilization(self) -> float:
+        return min(1.0, self.cpu_demand / self.cpu_capacity)
+
+    @property
+    def memory_used(self) -> int:
+        return sum(vm.memory_bytes for vm in self.vms)
+
+    @property
+    def memory_free(self) -> int:
+        return self.memory_bytes - self.memory_used
+
+    def fits(self, vm: VMSpec) -> bool:
+        """Same contract as :meth:`Host.fits`: memory-hard, CPU-soft."""
+        return self.alive and vm.memory_bytes <= self.memory_free
 
 
 @dataclass

@@ -165,6 +165,24 @@ class FaultPlan:
         return cls(seed=seed,
                    specs=[FaultSpec(site, rate) for site, rate in rates.items()])
 
+    def for_shard(self, shard_index: int) -> "FaultPlan":
+        """The same plan with a shard-private derived seed.
+
+        Sharded runs give every shard its own injector so fault
+        schedules are a pure function of ``(plan, shard)`` -- one
+        shard's fault opportunities never perturb another's stream,
+        and results are independent of worker scheduling (the same
+        discipline as the fuzz campaign's per-worker RNGs). The seed
+        derivation goes through :meth:`DeterministicRNG.fork` so
+        nearby shard indices still get unrelated streams.
+        """
+        if shard_index < 0:
+            raise ConfigError("shard_index must be non-negative")
+        return FaultPlan(
+            seed=DeterministicRNG(self.seed).fork_seed(shard_index),
+            specs=list(self.specs),
+        )
+
 
 class _SiteState:
     __slots__ = ("spec", "rng", "opportunities", "fired", "counter")

@@ -95,14 +95,21 @@ class Histogram:
     def summary(self) -> Optional[Summary]:
         return Summary.of(self.values) if self.values else None
 
-    def snapshot(self) -> Dict[str, object]:
+    def snapshot(self, include_values: bool = False) -> Dict[str, object]:
         summary = self.summary
-        return {
+        snap: Dict[str, object] = {
             "type": "histogram",
             "count": self.count,
             "last_time": self.last_time,
             "summary": summary.to_dict() if summary else None,
         }
+        if include_values:
+            # Raw samples make the snapshot exactly mergeable: partial
+            # (per-shard) manifests carry them so the reduce step can
+            # concatenate and re-summarize; the finalized manifest
+            # drops them again (see obs.manifest.finalize_manifest).
+            snap["values"] = list(self.values)
+        return snap
 
 
 Metric = Union[Counter, Gauge, Histogram]
@@ -230,14 +237,21 @@ class MetricsRegistry:
                 if metric.last_time is not None:
                     mine.last_time = metric.last_time
 
-    def snapshot(self) -> Dict[str, object]:
-        """Point-in-time dump stamped with the clock's declared timebase."""
+    def snapshot(self, samples: bool = False) -> Dict[str, object]:
+        """Point-in-time dump stamped with the clock's declared timebase.
+
+        With ``samples=True`` histogram snapshots carry their raw
+        values, making the snapshot exactly mergeable downstream.
+        """
         return {
             "timebase": self.clock.timebase,
             "time": self.clock.now(),
             "metrics": {
-                name: self._metrics[name].snapshot()
-                for name in sorted(self._metrics)
+                name: (metric.snapshot(include_values=True)
+                       if samples and isinstance(metric, Histogram)
+                       else metric.snapshot())
+                for name, metric in ((n, self._metrics[n])
+                                     for n in sorted(self._metrics))
             },
         }
 

@@ -24,6 +24,13 @@ from repro.sim.kernel import (
 )
 from repro.sim.resources import Resource, TokenBucket
 from repro.sim.link import NetworkLink, TransferResult
+from repro.sim.shard import (
+    COORDINATOR,
+    ShardMessage,
+    ShardExecutor,
+    route_messages,
+    parallel_map,
+)
 
 __all__ = [
     "Simulator",
@@ -40,4 +47,9 @@ __all__ = [
     "TokenBucket",
     "NetworkLink",
     "TransferResult",
+    "COORDINATOR",
+    "ShardMessage",
+    "ShardExecutor",
+    "route_messages",
+    "parallel_map",
 ]

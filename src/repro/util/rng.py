@@ -43,6 +43,16 @@ class DeterministicRNG:
         z ^= z >> 31
         return DeterministicRNG(z)
 
+    def fork_seed(self, salt: int) -> int:
+        """A derived 64-bit seed for a child component.
+
+        Components that take an integer seed (fault plans, shard
+        states) rather than an RNG instance use this to derive
+        decoupled per-component seeds from one root: it is the state a
+        :meth:`fork` child would start from.
+        """
+        return self.fork(salt)._state
+
     def next_u64(self) -> int:
         """Return the next raw 64-bit value."""
         x = self._state

@@ -14,7 +14,9 @@ from repro.bench import (
     run_e6,
     run_e7,
     run_e8,
+    run_e8_scale,
     run_e9_bt,
+    run_shard_scaling,
 )
 from repro.sim.kernel import SEC
 
@@ -61,6 +63,28 @@ def test_e7_small():
 def test_e8_small():
     result = run_e8(densities=[1, 4], fleet_size=12)
     assert result.raw["savings"].hosts_after < 12
+
+
+def test_e8_scale_small():
+    result = run_e8_scale(fleet_sizes=[60], shards=2, jobs=1, epochs=2)
+    assert result.experiment == "E8s"
+    report = result.raw["reports"][60]
+    assert report.stats["vms_resident"] > 0
+    manifest = result.manifest()
+    assert manifest["experiment"] == "E8s"
+    assert manifest["extra"]["cluster_sharded"]["shards"] == 2
+
+
+def test_shard_scaling_small():
+    result = run_shard_scaling(quick=True, fleet_size=60, shards=2,
+                               epochs=2, jobs_list=[1, 2])
+    assert result.parity_ok
+    assert result.points[0]["jobs"] == 1
+    payload = result.to_json()
+    assert payload["schema"] == "pyvisor.bench.shard/1"
+    assert payload["cpu_count"] >= 1
+    # Same machine, same run: the baseline check passes against itself.
+    assert result.check_baseline(payload) == []
 
 
 def test_e9b_small():

@@ -63,3 +63,46 @@ def test_boot_native(capsys):
 def test_boot_bad_arguments(capsys):
     assert main(["boot", "--mode", "nope"]) == 2
     assert main(["boot", "--workload", "nope"]) == 2
+
+
+def test_run_e8s_sharded_json(capsys):
+    assert main(["run", "e8s", "--quick", "--shards", "2", "--jobs", "2",
+                 "--fleet", "80", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["schema"] == "pyvisor.metrics.manifest/1"
+    assert manifest["experiment"] == "E8s"
+    assert manifest["extra"]["cluster_sharded"]["shards"] == 2
+    assert "cluster.shard.000.epochs" in manifest["metrics"]
+
+
+def test_run_shard_flags_ignored_for_unaware_experiments(capsys):
+    # --shards/--jobs only reach shard-aware experiments; others run as
+    # before.
+    assert main(["run", "e5", "--shards", "4", "--jobs", "2"]) == 0
+    assert "E5a" in capsys.readouterr().out
+
+
+def test_fuzz_faults_on_by_default(capsys):
+    assert main(["fuzz", "--seed", "1", "--cases", "2", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["extra"]["fuzz"]["opts"]["fault_rate"] == 0.05
+
+
+def test_fuzz_no_faults_flag(capsys):
+    assert main(["fuzz", "--seed", "1", "--cases", "2", "--no-faults",
+                 "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["extra"]["fuzz"]["opts"]["fault_rate"] == 0.0
+
+
+def test_shardbench_writes_payload(tmp_path, capsys):
+    out = tmp_path / "BENCH_SHARD.json"
+    baseline = tmp_path / "baseline.json"
+    assert main(["shardbench", "--quick", "--out", str(out), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["parity_ok"] is True
+    assert out.exists()
+    # The run gates cleanly against its own payload as baseline.
+    baseline.write_text(out.read_text())
+    assert main(["shardbench", "--quick", "--out", str(out),
+                 "--baseline", str(baseline)]) == 0

@@ -1,0 +1,146 @@
+"""The obs.manifest shard-reduce step: merge, finalize, canonical bytes."""
+
+import pytest
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    finalize_manifest,
+    manifest_bytes,
+    merge_manifests,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.util.errors import ConfigError
+
+
+def _partial(counters=(), gauges=(), observations=(), experiment="X",
+             time=0, samples=True):
+    registry = MetricsRegistry()
+    registry.clock.set(time)
+    for name, value in counters:
+        registry.counter(name).inc(value)
+    for name, value in gauges:
+        registry.gauge(name).set(value)
+    for name, value in observations:
+        registry.observe(name, value)
+    return build_manifest(registry, experiment=experiment, samples=samples)
+
+
+def test_counters_add():
+    merged = merge_manifests([
+        _partial(counters=[("c.total", 3), ("c.only_a", 1)]),
+        _partial(counters=[("c.total", 4), ("c.only_b", 7)]),
+    ])
+    assert merged["metrics"]["c.total"]["value"] == 7
+    assert merged["metrics"]["c.only_a"]["value"] == 1
+    assert merged["metrics"]["c.only_b"]["value"] == 7
+
+
+def test_gauges_take_max():
+    merged = merge_manifests([
+        _partial(gauges=[("g.level", 5.0)]),
+        _partial(gauges=[("g.level", 3.0)]),
+    ])
+    assert merged["metrics"]["g.level"]["value"] == 5.0
+
+
+def test_histograms_concatenate_and_resummarize():
+    merged = merge_manifests([
+        _partial(observations=[("h.lat", 1.0), ("h.lat", 2.0)], time=10),
+        _partial(observations=[("h.lat", 9.0)], time=20),
+    ])
+    hist = merged["metrics"]["h.lat"]
+    assert hist["count"] == 3
+    assert hist["values"] == [1.0, 2.0, 9.0]
+    assert hist["summary"]["maximum"] == 9.0
+    assert hist["last_time"] == 20
+    assert merged["time"] == 20  # time is the max of the operands
+
+
+def test_histogram_merge_requires_samples():
+    a = _partial(observations=[("h.lat", 1.0)], samples=False)
+    b = _partial(observations=[("h.lat", 2.0)], samples=True)
+    with pytest.raises(ConfigError, match="samples"):
+        merge_manifests([a, b])
+
+
+def test_kind_mismatch_rejected():
+    a = _partial(counters=[("m.x", 1)])
+    b = _partial(gauges=[("m.x", 1.0)])
+    with pytest.raises(ConfigError, match="m.x"):
+        merge_manifests([a, b])
+
+
+def test_schema_version_mismatch_rejected():
+    a = _partial()
+    b = _partial()
+    b["schema"] = "pyvisor.metrics.manifest/0"
+    with pytest.raises(ConfigError, match="schema"):
+        merge_manifests([a, b])
+    with pytest.raises(ConfigError, match="schema"):
+        merge_manifests([b])
+
+
+def test_experiment_and_timebase_mismatch_rejected():
+    with pytest.raises(ConfigError, match="experiments"):
+        merge_manifests([_partial(experiment="A"), _partial(experiment="B")])
+    a, b = _partial(), _partial()
+    b["timebase"] = "cycles"
+    with pytest.raises(ConfigError, match="timebase"):
+        merge_manifests([a, b])
+
+
+def test_empty_merge_rejected():
+    with pytest.raises(ConfigError):
+        merge_manifests([])
+
+
+def test_merge_associative():
+    parts = [
+        _partial(counters=[("c.n", 1)], gauges=[("g.l", 2.0)],
+                 observations=[("h.v", 1.0)]),
+        _partial(counters=[("c.n", 2)], gauges=[("g.l", 9.0)],
+                 observations=[("h.v", 5.0)]),
+        _partial(counters=[("c.n", 4)], observations=[("h.v", 3.0)]),
+    ]
+    left = merge_manifests([merge_manifests(parts[:2]), parts[2]])
+    right = merge_manifests([parts[0], merge_manifests(parts[1:])])
+    assert manifest_bytes(left) == manifest_bytes(right)
+    assert left["metrics"]["c.n"]["value"] == 7
+
+
+def test_single_operand_is_normalized_not_aliased():
+    part = _partial(counters=[("c.n", 5)], observations=[("h.v", 2.0)])
+    merged = merge_manifests([part])
+    assert merged["metrics"]["c.n"]["value"] == 5
+    assert merged is not part
+    assert manifest_bytes(merged) == manifest_bytes(
+        merge_manifests([part, _partial(experiment="X")]))
+
+
+def test_finalize_drops_samples_and_bytes_are_canonical():
+    merged = merge_manifests([
+        _partial(observations=[("h.v", 1.0), ("h.v", 2.0)]),
+        _partial(observations=[("h.v", 3.0)]),
+    ])
+    final = finalize_manifest(merged)
+    assert "values" not in final["metrics"]["h.v"]
+    assert final["metrics"]["h.v"]["count"] == 3
+    assert final["schema"] == MANIFEST_SCHEMA
+    payload = manifest_bytes(final)
+    assert payload.endswith(b"\n")
+    assert b" " not in payload.splitlines()[0]  # compact separators
+    assert manifest_bytes(final) == payload  # stable serialization
+
+
+def test_extras_union_and_collide():
+    a = _partial()
+    a["extra"] = {"alpha": 1}
+    b = _partial()
+    b["extra"] = {"beta": 2}
+    merged = merge_manifests([a, b])
+    assert merged["extra"] == {"alpha": 1, "beta": 2}
+    c = _partial()
+    c["extra"] = {"alpha": 9}
+    with pytest.raises(ConfigError, match="collide"):
+        merge_manifests([a, c])
