@@ -33,6 +33,7 @@ from repro.core import GuestConfig, Hypervisor, Machine, MMUVirtMode, VirtMode
 from repro.cpu.assembler import Program
 from repro.guest import KernelOptions, boot_native, boot_vm, build_kernel
 from repro.guest import workloads
+from repro.obs.manifest import build_manifest
 from repro.obs.registry import MetricsRegistry
 from repro.util.errors import GuestError
 from repro.util.table import Table
@@ -54,9 +55,12 @@ _NATIVE_WORKLOADS: List[Tuple[str, Callable[[], Program], Callable[[], Program]]
         lambda: workloads.cpu_bound(120000),
     ),
     (
+        # Full mode runs long enough (~700k instret) that one-time
+        # block-compile and boot cost stop dominating the compiled run;
+        # the memtouch floor is gated on full mode only for this reason.
         "memtouch",
         lambda: workloads.memtouch(48, 8),
-        lambda: workloads.memtouch(192, 48),
+        lambda: workloads.memtouch(192, 512),
     ),
     (
         "syscall_storm",
@@ -104,12 +108,14 @@ class HostBenchResult:
     table: Table
     metrics: Optional[MetricsRegistry] = None
     raw: Dict[str, Any] = field(default_factory=dict)
+    #: Top-N cProfile hotspots when the run was profiled (None = off).
+    profile: Optional[List[Dict[str, Any]]] = None
 
     def render(self) -> str:
         return self.table.render()
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "schema": BENCH_SCHEMA,
             "quick": self.quick,
             "host": {
@@ -121,6 +127,15 @@ class HostBenchResult:
             "speedups": {k: round(v, 4) for k, v in self.speedups.items()},
             "jit": dict(self.jit_counters),
         }
+        if self.profile is not None:
+            payload["profile"] = self.profile
+            if self.metrics is not None:
+                payload["manifest"] = build_manifest(
+                    self.metrics,
+                    experiment="host-throughput",
+                    extra={"profile": self.profile},
+                )
+        return payload
 
     def write(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as fh:
@@ -131,9 +146,16 @@ class HostBenchResult:
 
         Returns a list of failure strings (empty = pass). Only ratios
         are compared -- absolute guest-MIPS depend on the host machine.
+        Floors under ``speedups`` are always gated; floors under
+        ``speedups_full`` only gate full (non-quick) runs, for ratios
+        that quick runs cannot measure honestly (short quick runs are
+        dominated by one-time block-compile cost).
         """
         failures = []
-        for key, floor in baseline.get("speedups", {}).items():
+        gated = dict(baseline.get("speedups", {}))
+        if not self.quick:
+            gated.update(baseline.get("speedups_full", {}))
+        for key, floor in sorted(gated.items()):
             got = self.speedups.get(key)
             if got is None:
                 failures.append(f"{key}: missing from this run")
@@ -144,6 +166,28 @@ class HostBenchResult:
                     f"the baseline {floor:.2f}x"
                 )
         return failures
+
+    def baseline_table(self, baseline: Dict[str, Any]) -> str:
+        """Render a floors-vs-measured diff table for every gated row
+        (the CI failure artifact: shows *which* floor regressed and by
+        how much, not just that one did)."""
+        gated = dict(baseline.get("speedups", {}))
+        if not self.quick:
+            gated.update(baseline.get("speedups_full", {}))
+        header = (f"{'workload':>24} | {'floor':>7} | {'min ok':>7} | "
+                  f"{'measured':>8} | status")
+        lines = [header, "-" * len(header)]
+        for key, floor in sorted(gated.items()):
+            got = self.speedups.get(key)
+            min_ok = floor * REGRESSION_TOLERANCE
+            if got is None:
+                measured, status = "missing", "FAIL"
+            else:
+                measured = f"{got:.2f}x"
+                status = "ok" if got >= min_ok else "FAIL"
+            lines.append(f"{key:>24} | {floor:>6.2f}x | {min_ok:>6.2f}x | "
+                         f"{measured:>8} | {status}")
+        return "\n".join(lines)
 
 
 def _measure_native(
@@ -216,15 +260,57 @@ def _assert_identical(name: str, interp: EngineRow, compiled: EngineRow) -> None
         )
 
 
+def _top_hotspots(profiler, top: int) -> List[Dict[str, Any]]:
+    """Extract the top-``top`` functions by cumulative time."""
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    hotspots: List[Dict[str, Any]] = []
+    for func in stats.fcn_list[:top]:
+        _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        filename, lineno, name = func
+        # Trim host-specific prefixes so manifests diff cleanly across
+        # machines.
+        short = filename
+        if "/repro/" in short:
+            short = "repro/" + short.rsplit("/repro/", 1)[1]
+        hotspots.append(
+            {
+                "function": name,
+                "file": short,
+                "line": lineno,
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return hotspots
+
+
 def run_host_throughput(
     quick: bool = False,
     registry: Optional[MetricsRegistry] = None,
+    profile_top: int = 0,
 ) -> HostBenchResult:
-    """Measure guest-MIPS for every engine pair; returns all rows."""
+    """Measure guest-MIPS for every engine pair; returns all rows.
+
+    ``profile_top`` > 0 wraps the measurement loops in cProfile and
+    attaches that many hotspots (by cumulative time) to the result and
+    to the obs run manifest, so a gated regression ships with
+    attribution. Profiling skews absolute wall times (both engines
+    equally); profiled runs are for diagnosis, not for ratio floors.
+    """
     registry = registry if registry is not None else new_run_registry()
     kernel = build_kernel(
         KernelOptions(pv=False, memory_bytes=GUEST_MEMORY, timer_period=0)
     )
+    profiler = None
+    if profile_top:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     rows: List[EngineRow] = []
     speedups: Dict[str, float] = {}
     jit_counters: Dict[str, int] = {
@@ -266,6 +352,11 @@ def run_host_throughput(
             else 0.0
         )
 
+    hotspots: Optional[List[Dict[str, Any]]] = None
+    if profiler is not None:
+        profiler.disable()
+        hotspots = _top_hotspots(profiler, profile_top)
+
     scope = registry.scope("host.jit")
     for key, value in jit_counters.items():
         scope.counter(key).inc(value)
@@ -296,4 +387,5 @@ def run_host_throughput(
         table=table,
         metrics=registry,
         raw={"results": results},
+        profile=hotspots,
     )

@@ -143,7 +143,10 @@ def _cmd_run(args) -> int:
 def _cmd_perf(args) -> int:
     from repro.bench.host_throughput import run_host_throughput
 
-    result = run_host_throughput(quick=args.quick)
+    result = run_host_throughput(
+        quick=args.quick,
+        profile_top=25 if getattr(args, "profile", False) else 0,
+    )
     result.write(args.out)
     if args.json:
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
@@ -157,6 +160,7 @@ def _cmd_perf(args) -> int:
         if failures:
             for failure in failures:
                 print(f"perf regression: {failure}", file=sys.stderr)
+            print(result.baseline_table(baseline), file=sys.stderr)
             return 1
         print(f"baseline check passed ({args.baseline})", file=sys.stderr)
     return 0
@@ -328,6 +332,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     perf_p.add_argument("--baseline",
                         help="baseline JSON; exit 1 if any speedup ratio "
                              "regresses more than 20%% below it")
+    perf_p.add_argument("--profile", action="store_true",
+                        help="wrap the measurement in cProfile and embed "
+                             "the top-25 hotspots (cumtime) in the output "
+                             "manifest; for diagnosis, not for gating")
 
     shard_p = sub.add_parser(
         "shardbench",

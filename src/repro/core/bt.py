@@ -38,7 +38,8 @@ from repro.mem.paging import AccessType, PageFault
 MAX_BLOCK_INSTRUCTIONS = 32
 
 #: Instructions that end a block (control transfers; the callout
-#: terminators IRET/HLT/SYSCALL/VMCALL/BRK end blocks too).
+#: terminators IRET/HLT/SYSCALL/VMCALL/BRK and PTBR writes end
+#: blocks too).
 _TERMINATORS = frozenset(
     {Op.JAL, Op.JALR, Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLTU, Op.BGEU}
 )
@@ -281,6 +282,14 @@ class BTEngine:
                 items.append(("callout", ins))
                 if ins.op in (Op.IRET, Op.HLT, Op.SYSCALL, Op.VMCALL, Op.BRK):
                     break
+                if (ins.op is Op.CSRW
+                        and ins.simm12 & 0xFFF == int(CSR.PTBR)):
+                    # A PTBR write changes instruction-fetch translation;
+                    # the rest of this block was decoded under the old
+                    # root. End the block so dispatch re-fetches (and, if
+                    # the new root does not map the next pc, re-faults)
+                    # under the new root, exactly like hardware.
+                    break
             else:
                 items.append(("native", ins))
                 if ins.op in _TERMINATORS:
@@ -324,6 +333,15 @@ class BTEngine:
         cpu = vcpu.cpu
         vm = vcpu.vm
         vm.stats.bt_callouts += 1
+        # A rewritten instruction retires like any other guest
+        # instruction. Under hardware assist the same instruction bumps
+        # instret in the core before its intercept exit is serviced
+        # (CPUCore.execute never rolls privileged exits back), so
+        # retiring here keeps instret -- and everything metered by it:
+        # run-loop instruction budgets, watchdog beats, guest CSRR
+        # INSTRET -- comparable across virtualization engines instead
+        # of silently undercounting emulated work.
+        cpu.instret += 1
         op = ins.op
 
         if op is Op.SYSCALL or op is Op.BRK:

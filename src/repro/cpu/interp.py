@@ -144,6 +144,12 @@ class CPUCore:
         self.instret = 0
         self.pending_irqs = set()
         self.halted = False
+        #: Budget ceilings published for self-looping compiled blocks:
+        #: absolute instret/cycles values past which a block must return
+        #: to the dispatcher instead of looping in place. Set per run by
+        #: :meth:`_run_compiled`; the sentinel means "no budget".
+        self._loop_stop = 1 << 62
+        self._cycle_stop = 1 << 62
 
         self._decode_cache: Dict[Tuple[int, int], Instruction] = {}
         #: pfn -> decode-cache keys living in that frame (for targeted
@@ -476,10 +482,17 @@ class CPUCore:
         start_instr = self.instret
         start_cycles = self.cycles
         limit = max_instructions
+        self._loop_stop = (
+            start_instr + limit if limit is not None else 1 << 62
+        )
+        self._cycle_stop = (
+            start_cycles + cycle_guard if cycle_guard is not None else 1 << 62
+        )
         lookup = jit.lookup
         step = self.step
         csr = self.csr
         ie = int(CSR.IE)
+        mo = int(CSR.MODE)
         while True:
             if cycle_guard is not None and (
                 self.cycles - start_cycles >= cycle_guard
@@ -511,7 +524,7 @@ class CPUCore:
                     step()
                     continue
                 if limit is None:
-                    blk = lookup(self.pc)
+                    blk = lookup(self.pc, csr[mo])
                     if blk is None:
                         step()
                     else:
@@ -524,7 +537,7 @@ class CPUCore:
                             done,
                             self.cycles - start_cycles,
                         )
-                    blk = lookup(self.pc)
+                    blk = lookup(self.pc, csr[mo])
                     if blk is None or blk[1] > limit - done:
                         step()
                     else:
@@ -547,6 +560,8 @@ class CPUCore:
             "blocks_invalidated": 0,
             "fallback_steps": 0,
             "blocks_cached": 0,
+            "ic_hits": 0,
+            "pc_cache_entries": 0,
         }
         if self._jit:
             stats.update(self._jit.stats())

@@ -9,6 +9,27 @@ compile time. Constant cycle charges (fetch hit, base instruction cost,
 MUL/DIV extras) are pre-summed per block; only dynamic MMU charges are
 accumulated at run time.
 
+Three fast-path layers stack on top of the block closures (see
+DESIGN.md, "JIT memory fast path"):
+
+* **Inline caches** -- each load/store site in a paging block owns a
+  ``(vpn, pte, frame_base)`` slot in a per-closure list. A hit requires
+  the site's cached vpn to match *and* the TLB to still cache the same
+  leaf PTE for it (one dict probe + integer compare); then the access
+  skips ``mmu.translate`` entirely while replaying the exact bookkeeping
+  a TLB hit performs (LRU touch, hit count, hit cycles).
+* **Access forwarding** -- consecutive memory ops often land on the same
+  page (push/pop runs, load-after-store). The compiler threads the last
+  translation through locals and forwards it when the page matches,
+  without even an IC probe. Nothing between two adjacent accesses can
+  touch the TLB, so presence is guaranteed; only a store forwarding from
+  a load re-checks W|D bits (a clean page must miss and walk to set D).
+* **Self-looping blocks** -- a conditional branch whose taken target is
+  its own block start re-enters the closure without going through the
+  dispatcher, re-arming only the per-iteration counters. Instruction
+  and cycle budgets are honoured at each loop edge via limits the
+  dispatcher publishes on the core (``_loop_stop`` / ``_cycle_stop``).
+
 Correctness contract (enforced by the differential tests): simulated
 ``cycles``/``instret``/register/CSR state, TLB statistics and TLB LRU
 order are **bit-identical** to the reference interpreter. Anything the
@@ -22,27 +43,33 @@ Two consumers:
 
 * :class:`BlockJIT` -- per-core engine behind ``CPUCore.run()``. Blocks
   are keyed by *physical* start address (content-addressed), validated
-  against physmem write watchers (self-modifying code) and a per-page
-  EXEC-translation memo guarded by the TLB epoch (so ``set_root``,
+  against physmem write watchers (self-modifying code) and a per-pc
+  dispatch cache revalidated by PTE compare (so ``set_root``,
   ``invlpg``, flushes and evictions all stop the fast path until the
   next successful re-probe).
 * :func:`compile_bt_block` -- fuses a :class:`TranslatedBlock`'s item
   list (native runs inlined, callouts as captured calls) so the binary
-  translator stops re-walking its tag list on every execution.
+  translator stops re-walking its tag list on every execution. The BT
+  layer keeps the conservative translate-per-access path: its MMU is
+  virtualized and may exit to the monitor.
 """
 
-from typing import Callable, Dict, List, Optional, Set, Tuple
+import struct
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cpu.exits import VMExit
 from repro.cpu.isa import Cause, DecodeError, Instruction, Op, decode
 from repro.cpu.mmu import BareMMU
-from repro.mem.paging import AccessType, PageFault
+from repro.mem.paging import AccessType, PageFault, PTE_DIRTY, PTE_WRITABLE
 from repro.util.errors import MemoryError_
 
 __all__ = ["BlockJIT", "compile_bt_block"]
 
 #: Maximum instructions fused into one compiled block.
 MAX_BLOCK_INSTRUCTIONS = 32
+
+#: Dispatch/pc-cache size bound (cleared wholesale when exceeded).
+_PC_CACHE_MAX = 16384
 
 _MEM_OPS = frozenset({Op.LD, Op.ST, Op.LDB, Op.STB})
 _STORE_OPS = frozenset({Op.ST, Op.STB})
@@ -58,8 +85,15 @@ _BRANCH_COND = {
     Op.BGEU: (">=", False),
 }
 
+#: Store-forwarding W|D mask: a store may reuse a load's translation
+#: only if the cached PTE is already writable *and* dirty (otherwise the
+#: reference lookup misses and walks to set D).
+_WD = PTE_WRITABLE | PTE_DIRTY
+
 #: Negative-cache marker for "starts with something we cannot compile".
 _UNCOMPILABLE: Tuple = ()
+
+_U32 = struct.Struct("<I")
 
 
 def _sgn(value: int) -> int:
@@ -149,6 +183,7 @@ def _compile_items(
     paging: bool = False,
     vpn: int = 0,
     epoch_cell: Optional[list] = None,
+    ic_cell: Optional[list] = None,
     callout: Optional[Callable[[Instruction], bool]] = None,
 ) -> Callable:
     """Generate and compile one block closure from classified items.
@@ -160,19 +195,26 @@ def _compile_items(
     n = len(items)
     track_tlb = layer == "cpu" and paging
     fetch_c = costs.tlb_hit_cycles if track_tlb else 0
+    hit_c = costs.tlb_hit_cycles
 
     pre = [0]
     reta: List[int] = []  # retired instruction count *after* item k
     retired = 0
     for kind, ins, _va in items:
         pre.append(pre[-1] + _item_const_cycles(costs, kind, ins, fetch_c))
-        if kind == "native":
-            retired += 1
+        # Callouts retire too (the bump itself happens inside
+        # BTEngine._callout, shared with the reference walk): a guest
+        # instruction rewritten into monitor emulation still retires
+        # architecturally, exactly as its intercepted-and-emulated
+        # counterpart does under hardware assist.
+        retired += 1
         reta.append(retired)
 
-    has_mem = any(
-        k == "native" and i.op in _MEM_OPS for k, i, _ in items
-    )
+    mem_indices = [
+        k for k, (kind, ins, _va) in enumerate(items)
+        if kind == "native" and ins.op in _MEM_OPS
+    ]
+    has_mem = bool(mem_indices)
     has_store = any(
         k == "native" and i.op in _STORE_OPS for k, i, _ in items
     )
@@ -184,6 +226,49 @@ def _compile_items(
     guarded = has_mem  # only memory accesses can raise mid-block
     snapshot = guarded or has_div_reg or has_callout
     smc_check = layer == "cpu" and has_store
+    # Inline-cached translations: only for directly-walked paging blocks
+    # (the BT/virtualized MMUs may VM-exit inside translate).
+    fast_mem = track_tlb and has_mem
+    # A conditional branch back to the block's own start re-enters the
+    # closure directly (budgets permitting) instead of re-dispatching.
+    last_kind, last_ins, _lv = items[-1]
+    selfloop = (
+        layer == "cpu"
+        and last_kind == "native"
+        and last_ins.op in _BRANCH_COND
+        and last_ins.imm32 == items[0][2]
+    )
+    # Self-looping blocks are hot by construction, so their IC-miss
+    # slow path additionally inlines the whole reference translate
+    # (TLB probe + 2-level walk + insert/evict bookkeeping) straight
+    # into the closure, replicating translate/walk_quick/TLB.insert
+    # statement for statement. Dispatcher-bound blocks keep the plain
+    # `tr()` call: their preamble must stay cheap.
+    deep = fast_mem and selfloop
+    miss_c = costs.tlb_miss_cycles
+
+    # Static forwarding plan: memory op k may reuse the translation of
+    # the previous memory op (cross-iteration in self-looping blocks:
+    # the first op forwards from the last, since nothing between the
+    # last access and the loop edge can touch the TLB).
+    prev_mem: Dict[int, int] = {}
+    if fast_mem:
+        for j, k in enumerate(mem_indices):
+            if j > 0:
+                prev_mem[k] = mem_indices[j - 1]
+            elif selfloop:
+                prev_mem[k] = mem_indices[-1]
+    site_slot = {k: 1 + 3 * j for j, k in enumerate(mem_indices)}
+    need_fwd = bool(prev_mem)
+
+    def _is_store(k: int) -> bool:
+        return items[k][1].op in _STORE_OPS
+
+    # A store forwarding from a load must re-check W|D on the cached
+    # PTE, so every path then has to keep the last PTE in a local.
+    need_lt = any(
+        _is_store(k) and not _is_store(p) for k, p in prev_mem.items()
+    )
 
     src = _Src()
     src.emit(0, "def _block(cpu):")
@@ -193,7 +278,7 @@ def _compile_items(
         src.emit(1, "st = te.stats")
         src.emit(1, "mv = te._entries.move_to_end")
         if has_mem:
-            src.emit(1, "ep0 = te.epoch")
+            src.emit(1, "eg = te.entry_get")
     if smc_check:
         src.emit(1, "j0 = _jw[0]")
     # With callouts in the block, monitor emulation could in principle
@@ -220,25 +305,61 @@ def _compile_items(
             src.emit(1, "r8 = pm.read_u8")
         if Op.STB in ops_used:
             src.emit(1, "w8 = pm.write_u8")
-    if snapshot:
-        src.emit(1, "c0 = cpu.cycles")
-        src.emit(1, "i0 = cpu.instret")
-        src.emit(1, "mc = 0")
+    if fast_mem:
+        # Entry guards: snapshot the code page's cached PTE (every fetch
+        # in the block must keep hitting exactly this translation) and
+        # drop the site caches if the privilege mode changed since fill.
+        src.emit(1, f"cpte = eg({vpn})")
+        src.emit(1, "if u is not _ic[0]:")
+        src.emit(2, "_ic[1:] = _ICR")
+        src.emit(2, "_ic[0] = u")
+        if deep:
+            src.emit(1, "_e = te._entries")
+            src.emit(1, "_wk = mmu.walker")
+            src.emit(1, "_rpa = mmu.root_pa")
+            src.emit(1, "_cap = te.capacity")
+            src.emit(1, "_mb = pm._data")
+            src.emit(1, "_msz = pm.size")
+            src.emit(1, "pr32 = pm.read_u32")
+            src.emit(1, "pw32 = pm.write_u32")
+        if need_fwd:
+            src.emit(1, "_lp = -1")
+            src.emit(1, "_lb = 0")
+            if need_lt:
+                src.emit(1, "_lt = 0")
+    if selfloop:
+        src.emit(1, "_is = cpu._loop_stop")
+        src.emit(1, "_cs = cpu._cycle_stop")
     if guarded:
-        src.emit(1, "_n = -1")
         src.emit(1, "try:")
     depth = 2 if guarded else 1
+    if selfloop:
+        src.emit(depth, "while 1:")
+        depth += 1
+    if snapshot:
+        src.emit(depth, "c0 = cpu.cycles")
+        src.emit(depth, "i0 = cpu.instret")
+        src.emit(depth, "mc = 0")
+    if fast_mem:
+        src.emit(depth, "_h = 0")
+    if guarded:
+        src.emit(depth, "_n = -1")
 
     def counters(d: int, j: int, ret: int, mv_mode: Optional[str]) -> None:
         """Commit cycles/instret (+TLB fetch stats) at boundary ``j``."""
+        hits_extra = f" + _h * {hit_c}" if fast_mem and hit_c else ""
         if snapshot:
-            src.emit(d, f"cpu.cycles = c0 + {pre[j]} + mc")
+            src.emit(d, f"cpu.cycles = c0 + {pre[j]} + mc{hits_extra}")
             src.emit(d, f"cpu.instret = i0 + {ret}")
         else:
             src.emit(d, f"cpu.cycles += {pre[j]}")
             src.emit(d, f"cpu.instret += {ret}")
         if track_tlb:
-            src.emit(d, f"st.hits += {j}")
+            if fast_mem:
+                src.emit(d, f"st.hits += {j} + _h")
+                src.emit(d, "_ich[0] += _h")
+            else:
+                src.emit(d, f"st.hits += {j}")
             if mv_mode == "plain":
                 src.emit(d, f"mv({vpn})")
             elif mv_mode == "guarded":
@@ -252,7 +373,9 @@ def _compile_items(
 
         if kind == "callout":
             src.emit(depth, f"cpu.cycles = c0 + {pre[k + 1]} + mc")
-            src.emit(depth, f"cpu.instret = i0 + {reta[k]}")
+            # reta[k] - 1: everything *before* this callout; _co itself
+            # retires the callout instruction (BTEngine._callout).
+            src.emit(depth, f"cpu.instret = i0 + {reta[k] - 1}")
             src.emit(depth, f"cpu.pc = {va}")
             if guarded:
                 src.emit(depth, "_n = -1")
@@ -268,42 +391,181 @@ def _compile_items(
             continue
 
         if op in _MEM_OPS:
-            src.emit(depth, f"_n = {k}")
-            if track_tlb:
-                src.emit(depth, f"mv({vpn})")
-            addr = _addr_expr(ins)
             is_store = op in _STORE_OPS
-            if layer == "bt" or paging:
-                at = "_AW" if is_store else "_AR"
-                src.emit(depth, f"_a, _c = tr({addr}, {at}, {u_expr})")
-                src.emit(depth, "mc += _c")
-                loc = "_a"
+
+            def access_stmt(loc: str) -> str:
+                if op is Op.LD:
+                    tgt = f"regs[{ins.rd}] = " if ins.rd else ""
+                    return f"{tgt}r32({loc})"
+                if op is Op.LDB:
+                    tgt = f"regs[{ins.rd}] = " if ins.rd else ""
+                    return f"{tgt}r8({loc})"
+                if op is Op.ST:
+                    return f"w32({loc}, {_r(ins.rb)})"
+                return f"w8({loc}, {_r(ins.rb)} & 0xFF)"
+
+            if not fast_mem:
+                # Conservative path (BT layer, paging-off blocks): every
+                # access goes through translate / direct physmem.
+                src.emit(depth, f"_n = {k}")
+                if track_tlb:
+                    src.emit(depth, f"mv({vpn})")
+                addr = _addr_expr(ins)
+                if layer == "bt" or paging:
+                    at = "_AW" if is_store else "_AR"
+                    src.emit(depth, f"_a, _c = tr({addr}, {at}, {u_expr})")
+                    src.emit(depth, "mc += _c")
+                    loc = "_a"
+                else:
+                    loc = addr
+                src.emit(depth, access_stmt(loc))
+                # Stores may have hit compiled code (jit epoch); bail at
+                # the exact boundary so the next fetch re-validates.
+                if is_store and smc_check and not last:
+                    src.emit(depth, "if _jw[0] != j0:")
+                    counters(depth + 1, k + 1, reta[k], None)
+                    src.emit(depth + 1, f"cpu.pc = {nxt}")
+                    src.emit(depth + 1, "return")
+                continue
+
+            # Inline-cached path. Order per access, mirroring the
+            # interpreter: fetch LRU touch, translate (forward / IC /
+            # translate), access, then guard bailouts.
+            b = site_slot[k]
+            at = "_AW" if is_store else "_AR"
+            src.emit(depth, f"_n = {k}")
+            src.emit(depth, f"mv({vpn})")
+            src.emit(depth, f"_va = {_addr_expr(ins)}")
+            src.emit(depth, "_vp = _va >> 12")
+
+            def smc_bail(d: int) -> None:
+                if is_store and not last:
+                    src.emit(d, "if _jw[0] != j0:")
+                    counters(d + 1, k + 1, reta[k], None)
+                    src.emit(d + 1, f"cpu.pc = {nxt}")
+                    src.emit(d + 1, "return")
+
+            prev = prev_mem.get(k)
+            head = "if"
+            if prev is not None:
+                cond = "_vp == _lp"
+                if is_store and not _is_store(prev):
+                    cond += f" and _lt & {_WD} == {_WD}"
+                src.emit(depth, f"if {cond}:")
+                src.emit(depth + 1, "mv(_vp)")
+                src.emit(depth + 1, "_h += 1")
+                src.emit(depth + 1, access_stmt("_lb | (_va & 0xFFF)"))
+                smc_bail(depth + 1)
+                head = "elif"
+            src.emit(
+                depth, f"{head} _ic[{b}] == _vp and eg(_vp) == _ic[{b + 1}]:"
+            )
+            src.emit(depth + 1, "mv(_vp)")
+            src.emit(depth + 1, "_h += 1")
+            if need_fwd:
+                src.emit(depth + 1, "_lp = _vp")
+                src.emit(depth + 1, f"_lb = _ic[{b + 2}]")
+                if need_lt:
+                    src.emit(depth + 1, f"_lt = _ic[{b + 1}]")
+                src.emit(depth + 1, access_stmt("_lb | (_va & 0xFFF)"))
             else:
-                loc = addr
-            if op is Op.LD:
-                tgt = f"regs[{ins.rd}] = " if ins.rd else ""
-                src.emit(depth, f"{tgt}r32({loc})")
-            elif op is Op.LDB:
-                tgt = f"regs[{ins.rd}] = " if ins.rd else ""
-                src.emit(depth, f"{tgt}r8({loc})")
-            elif op is Op.ST:
-                src.emit(depth, f"w32({loc}, {_r(ins.rb)})")
+                src.emit(depth + 1, access_stmt(f"_ic[{b + 2}] | (_va & 0xFFF)"))
+            smc_bail(depth + 1)
+            src.emit(depth, "else:")
+            if deep:
+                # Inline replica of BareMMU.translate on this access
+                # class: probe (reference lookup conditions + stats +
+                # LRU), then walk_quick (raw reads, fault order, A/D
+                # write visibility), then TLB.insert (LRU refresh or
+                # evict + epoch), then the IC/forwarding fill.
+                hit_cond = "not u or _pte & 4"
+                if is_store:
+                    hit_cond = f"({hit_cond}) and _pte & 18 == 18"
+                src.emit(depth + 1, "_pte = _e.get(_vp)")
+                src.emit(depth + 1, f"if _pte is not None and ({hit_cond}):")
+                src.emit(depth + 2, "mv(_vp)")
+                src.emit(depth + 2, "st.hits += 1")
+                if hit_c:
+                    src.emit(depth + 2, f"mc += {hit_c}")
+                src.emit(depth + 2, "_fb = _pte & 0xFFFFF000")
+                src.emit(depth + 1, "else:")
+                d = depth + 2
+                src.emit(d, "st.misses += 1")
+                src.emit(d, "_wk.walks += 1")
+                src.emit(d, "_p1 = _rpa + ((_va >> 22) & 0x3FF) * 4")
+                src.emit(d, "if _p1 + 4 > _msz:")
+                src.emit(d + 1, "pr32(_p1)")
+                src.emit(d, "_pde = _up(_mb, _p1)[0]")
+                src.emit(d, "if not _pde & 1:")
+                src.emit(d + 1, "_wk.faults += 1")
+                src.emit(d + 1, f"raise _PF(_va, {at}, u, False)")
+                src.emit(d, "_p2 = (_pde >> 12 << 12) + ((_va >> 12) & 0x3FF) * 4")
+                src.emit(d, "if _p2 + 4 > _msz:")
+                src.emit(d + 1, "pr32(_p2)")
+                src.emit(d, "_pte = _up(_mb, _p2)[0]")
+                src.emit(d, "if not _pte & 1:")
+                src.emit(d + 1, "_wk.faults += 1")
+                src.emit(d + 1, f"raise _PF(_va, {at}, u, False)")
+                src.emit(d, "if u and not _pde & _pte & 4:")
+                src.emit(d + 1, "_wk.faults += 1")
+                src.emit(d + 1, f"raise _PF(_va, {at}, u, True)")
+                if is_store:
+                    src.emit(d, "if not _pde & _pte & 2:")
+                    src.emit(d + 1, "_wk.faults += 1")
+                    src.emit(d + 1, f"raise _PF(_va, {at}, u, True)")
+                src.emit(d, "if not _pde & 8:")
+                src.emit(d + 1, "pw32(_p1, _pde | 8)")
+                src.emit(d, f"_t = _pte | {24 if is_store else 8}")
+                src.emit(d, "if _t != _pte:")
+                src.emit(d + 1, "pw32(_p2, _t)")
+                src.emit(d + 1, "_pte = _t")
+                src.emit(d, "if _vp in _e:")
+                src.emit(d + 1, "mv(_vp)")
+                src.emit(d + 1, "if _e[_vp] != _pte:")
+                src.emit(d + 2, "te.epoch += 1")
+                src.emit(d + 1, "_e[_vp] = _pte")
+                src.emit(d, "else:")
+                src.emit(d + 1, "if len(_e) >= _cap:")
+                src.emit(d + 2, "_e.popitem(last=False)")
+                src.emit(d + 2, "st.evictions += 1")
+                src.emit(d + 2, "te.epoch += 1")
+                src.emit(d + 1, "_e[_vp] = _pte")
+                src.emit(d, f"mc += {miss_c}")
+                src.emit(d, "_fb = _pte & 0xFFFFF000")
+                src.emit(depth + 1, f"_ic[{b}] = _vp")
+                src.emit(depth + 1, f"_ic[{b + 1}] = _pte")
+                src.emit(depth + 1, f"_ic[{b + 2}] = _fb")
+                if need_fwd:
+                    src.emit(depth + 1, "_lp = _vp")
+                    src.emit(depth + 1, "_lb = _fb")
+                    if need_lt:
+                        src.emit(depth + 1, "_lt = _pte")
+                src.emit(depth + 1, access_stmt("_fb | (_va & 0xFFF)"))
             else:
-                src.emit(depth, f"w8({loc}, {_r(ins.rb)} & 0xFF)")
-            # Re-validate the fast-path assumptions the interpreter
-            # re-establishes on every fetch: the EXEC translation may
-            # have been evicted/changed (TLB epoch) and stores may have
-            # hit compiled code (jit epoch). Bail at the exact boundary.
-            conds = []
-            if track_tlb:
-                conds.append("te.epoch != ep0")
+                src.emit(depth + 1, f"_a, _c = tr(_va, {at}, u)")
+                src.emit(depth + 1, "mc += _c")
+                src.emit(depth + 1, f"_ic[{b}] = _vp")
+                if need_lt:
+                    src.emit(depth + 1, "_lt = eg(_vp)")
+                    src.emit(depth + 1, f"_ic[{b + 1}] = _lt")
+                else:
+                    src.emit(depth + 1, f"_ic[{b + 1}] = eg(_vp)")
+                src.emit(depth + 1, f"_ic[{b + 2}] = _a & 0xFFFFF000")
+                if need_fwd:
+                    src.emit(depth + 1, "_lp = _vp")
+                    src.emit(depth + 1, f"_lb = _ic[{b + 2}]")
+                src.emit(depth + 1, access_stmt("_a"))
+            # The translate may have evicted or changed the executing
+            # code page's entry (so the next fetch would miss); stores
+            # may also have hit compiled code. Bail at the boundary.
+            conds = [f"eg({vpn}) != cpte"]
             if is_store and smc_check:
                 conds.append("_jw[0] != j0")
-            if conds and not last:
-                src.emit(depth, f"if {' or '.join(conds)}:")
-                counters(depth + 1, k + 1, reta[k], None)
-                src.emit(depth + 1, f"cpu.pc = {nxt}")
-                src.emit(depth + 1, "return")
+            if not last:
+                src.emit(depth + 1, f"if {' or '.join(conds)}:")
+                counters(depth + 2, k + 1, reta[k], None)
+                src.emit(depth + 2, f"cpu.pc = {nxt}")
+                src.emit(depth + 2, "return")
             continue
 
         if op in (Op.DIVU, Op.REMU) and not ins.has_imm32:
@@ -311,6 +573,14 @@ def _compile_items(
             src.emit(depth, "if not _b:")
             counters(depth + 1, k + 1, reta[k], "guarded" if track_tlb else None)
             src.emit(depth + 1, f"cpu.pc = {va}")
+            if guarded:
+                # Everything is committed (the DIV0 retires, like the
+                # interpreter's _alu path).  Under a deprivileging
+                # policy _trap raises VMExit(GUEST_TRAP), which would
+                # land in our own except-_VX handler and roll state
+                # back to the last *memory* op's boundary -- disarm it,
+                # exactly as the callout path does.
+                src.emit(depth + 1, "_n = -1")
             src.emit(depth + 1, f"cpu._trap(_DIV0, 0, {va})")
             src.emit(depth + 1, "return")
             if ins.rd:
@@ -341,6 +611,22 @@ def _compile_items(
                 a, b = _r(ins.ra), _r(ins.rb)
                 if signed:
                     a, b = f"_sgn({a})", f"_sgn({b})"
+                if selfloop:
+                    # Loop back without re-dispatching while both budget
+                    # ceilings allow a whole further iteration; any
+                    # other condition returns to the dispatcher, which
+                    # re-validates everything before the next entry.
+                    src.emit(depth, f"if {a} {sym} {b}:")
+                    src.emit(depth + 1, f"cpu.pc = {ins.imm32}")
+                    src.emit(
+                        depth + 1,
+                        f"if cpu.instret + {n} <= _is and cpu.cycles < _cs:",
+                    )
+                    src.emit(depth + 2, "continue")
+                    src.emit(depth + 1, "return")
+                    src.emit(depth, f"cpu.pc = {nxt}")
+                    src.emit(depth, "return")
+                    continue
                 src.emit(
                     depth,
                     f"cpu.pc = {ins.imm32} if {a} {sym} {b} else {nxt}",
@@ -355,7 +641,6 @@ def _compile_items(
 
     # Fall-through block end (size/page limit, or trailing non-stop
     # callout which already left pc == end va).
-    last_kind, last_ins, _last_va = items[-1]
     if not (last_kind == "native" and last_ins.op in _TERMINATORS):
         if last_kind == "callout":
             pass  # everything committed around the callout
@@ -371,7 +656,6 @@ def _compile_items(
             src.emit(depth, "return")
 
     if guarded:
-        hit_fix = "st.hits += _n + 1" if track_tlb else None
         # A page fault retires the faulting access (the trap is
         # delivered with it architecturally complete), but a VMExit is
         # serviced by the monitor and the instruction re-executes or is
@@ -390,10 +674,15 @@ def _compile_items(
             src.emit(1, handler)
             src.emit(2, "if _n < 0:")
             src.emit(3, "raise")
-            src.emit(2, "cpu.cycles = c0 + _P[_n + 1] + mc")
+            hits_extra = f" + _h * {hit_c}" if fast_mem and hit_c else ""
+            src.emit(2, f"cpu.cycles = c0 + _P[_n + 1] + mc{hits_extra}")
             src.emit(2, f"cpu.instret = i0 + {retired}")
-            if hit_fix:
-                src.emit(2, hit_fix)
+            if track_tlb:
+                if fast_mem:
+                    src.emit(2, "st.hits += _n + 1 + _h")
+                    src.emit(2, "_ich[0] += _h")
+                else:
+                    src.emit(2, "st.hits += _n + 1")
                 src.emit(2, f"if {vpn} in te._entries:")
                 src.emit(3, f"mv({vpn})")
             src.emit(2, "cpu.pc = _V[_n]")
@@ -417,6 +706,14 @@ def _compile_items(
         "_jw": epoch_cell,
         "_co": callout,
     }
+    if fast_mem:
+        nsites = len(mem_indices)
+        # [mode, site0_vpn, site0_pte, site0_base, site1_vpn, ...]
+        ns["_ic"] = [False] + [-1, 0, 0] * nsites
+        ns["_ICR"] = (-1, 0, 0) * nsites
+        ns["_ich"] = ic_cell if ic_cell is not None else [0]
+        if deep:
+            ns["_up"] = _U32.unpack_from
     exec(compile(src.text(), "<pyvisor-jit>", "exec"), ns)  # noqa: S102
     return ns["_block"]  # type: ignore[return-value]
 
@@ -446,9 +743,10 @@ class BlockJIT:
     MMUs conservatively stay on the reference interpreter. Blocks are
     keyed ``(pa, va, paging)`` -- content-addressed by physical start so
     a root switch never runs stale code -- and dropped when a physmem
-    write watcher reports a store into their frame. The EXEC-translation
-    memo (``(vpn, user) -> pa_base``) is revalidated against the TLB
-    epoch, which advances on flush / invlpg / eviction / PTE change.
+    write watcher reports a store into their frame. Dispatch goes
+    through a per-``(pc, mode)`` cache revalidated by one PTE compare
+    against the live TLB entry, so flush / invlpg / eviction / PTE
+    change all force a fresh EXEC probe before any stale block runs.
     """
 
     def __init__(self, cpu) -> None:
@@ -456,9 +754,16 @@ class BlockJIT:
         self.mmu: BareMMU = cpu.mmu
         self.physmem = cpu.mmu.physmem
         self._blocks: Dict[Tuple[int, int, bool], Tuple] = {}
-        self._frame_keys: Dict[int, Set[Tuple[int, int, bool]]] = {}
-        self._memo: Dict[Tuple[int, bool], Tuple[int, int]] = {}
+        self._frame_keys: Dict[int, set] = {}
+        #: Dispatch caches: (pc << 1) | mode -> (block, vpn, pte) under
+        #: paging; pc -> block with paging off. Entries self-invalidate
+        #: by PTE compare; SMC and cost changes clear them wholesale.
+        self._pc_pg: Dict[int, Tuple] = {}
+        self._pc_bare: Dict[int, Tuple] = {}
         self._epoch_cell = [0]
+        #: Shared across closures: data accesses served by inline caches
+        #: or forwarding (host-side telemetry; sim stats are unaffected).
+        self._ic_cell = [0]
         self._costs_sig = self._sig()
         self.blocks_compiled = 0
         self.blocks_invalidated = 0
@@ -485,7 +790,8 @@ class BlockJIT:
     def flush(self) -> None:
         self._blocks.clear()
         self._frame_keys.clear()
-        self._memo.clear()
+        self._pc_pg.clear()
+        self._pc_bare.clear()
         self._epoch_cell[0] += 1
 
     def invalidate_pfn(self, pfn: int) -> None:
@@ -497,6 +803,9 @@ class BlockJIT:
         for key in keys:
             if blocks.pop(key, None):
                 self.blocks_invalidated += 1
+        # The dispatch caches hold direct references to dropped blocks.
+        self._pc_pg.clear()
+        self._pc_bare.clear()
         self._epoch_cell[0] += 1
 
     def stats(self) -> Dict[str, int]:
@@ -505,46 +814,56 @@ class BlockJIT:
             "blocks_invalidated": self.blocks_invalidated,
             "fallback_steps": self.fallback_steps,
             "blocks_cached": len(self._blocks),
+            "ic_hits": self._ic_cell[0],
+            "pc_cache_entries": len(self._pc_pg) + len(self._pc_bare),
         }
 
     # -- dispatch --------------------------------------------------------
 
-    def lookup(self, pc: int) -> Optional[Tuple]:
+    def lookup(self, pc: int, mode: int = 0) -> Optional[Tuple]:
         """Return ``(closure, n_instructions)`` for ``pc``, or None.
 
         None means "take one reference-interpreter step": EXEC
-        translation not memoizable right now (TLB miss -- the step will
+        translation not cached right now (TLB miss -- the step will
         walk and refill), or the block starts with something the
         compiler does not handle (system ops, page-straddling code).
+        ``mode`` is the live MODE csr (privilege is part of the key).
         """
         mmu = self.mmu
         if mmu.paging_enabled:
-            user = self.cpu.csr[0] == 1
-            vpn = pc >> 12
-            tlb = mmu.tlb
-            memo_key = (vpn, user)
-            m = self._memo.get(memo_key)
-            if m is None or m[1] != tlb.epoch:
-                pte = tlb.peek(vpn, AccessType.EXEC, user)
+            key = (pc << 1) | mode
+            ent = self._pc_pg.get(key)
+            if ent is not None and mmu.tlb.entry_get(ent[1]) == ent[2]:
+                blk = ent[0]
+            else:
+                vpn = pc >> 12
+                pte = mmu.tlb.peek(vpn, AccessType.EXEC, mode == 1)
                 if pte is None:
                     self.fallback_steps += 1
                     return None
-                m = ((pte >> 12) << 12, tlb.epoch)
-                if len(self._memo) > 4096:
-                    self._memo.clear()
-                self._memo[memo_key] = m
-            pa = m[0] | (pc & 0xFFF)
-            key = (pa, pc, True)
+                pa = (pte >> 12 << 12) | (pc & 0xFFF)
+                bkey = (pa, pc, True)
+                blk = self._blocks.get(bkey)
+                if blk is None:
+                    blk = self._compile(bkey, pa, pc, True)
+                if len(self._pc_pg) > _PC_CACHE_MAX:
+                    self._pc_pg.clear()
+                self._pc_pg[key] = (blk, vpn, pte)
         else:
-            pa = pc & 0xFFFFFFFF
-            key = (pa, pc, False)
-        blk = self._blocks.get(key)
-        if blk is None:
-            blk = self._compile(key, pa, pc, key[2])
-        if not blk:
-            self.fallback_steps += 1
-            return None
-        return blk
+            blk = self._pc_bare.get(pc)
+            if blk is None:
+                pa = pc & 0xFFFFFFFF
+                bkey = (pa, pc, False)
+                blk = self._blocks.get(bkey)
+                if blk is None:
+                    blk = self._compile(bkey, pa, pc, False)
+                if len(self._pc_bare) > _PC_CACHE_MAX:
+                    self._pc_bare.clear()
+                self._pc_bare[pc] = blk
+        if blk:
+            return blk
+        self.fallback_steps += 1
+        return None
 
     def _compile(self, key, pa: int, va: int, paging: bool) -> Tuple:
         physmem = self.physmem
@@ -581,6 +900,7 @@ class BlockJIT:
                 paging=paging,
                 vpn=va >> 12,
                 epoch_cell=self._epoch_cell,
+                ic_cell=self._ic_cell,
             )
             blk: Tuple = (fn, len(items))
             self.blocks_compiled += 1

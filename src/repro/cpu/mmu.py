@@ -17,10 +17,19 @@ raise :class:`repro.cpu.exits.VMExit` for faults the VMM must service.
 from typing import Tuple
 
 from repro.mem.costs import CostModel
-from repro.mem.paging import AccessType, PageTableWalker
+from repro.mem.paging import (
+    AccessType,
+    PTE_DIRTY,
+    PTE_NOEXEC,
+    PTE_USER,
+    PTE_WRITABLE,
+    PageTableWalker,
+)
 from repro.mem.physmem import PhysicalMemory
 from repro.mem.tlb import TLB
 from repro.util.units import PAGE_SHIFT
+
+_WD = PTE_WRITABLE | PTE_DIRTY
 
 
 class MMUBase:
@@ -68,14 +77,29 @@ class BareMMU(MMUBase):
     def translate(self, va: int, access: AccessType, user: bool) -> Tuple[int, int]:
         if not self.paging_enabled:
             return va & 0xFFFFFFFF, 0
-        vpn = (va & 0xFFFFFFFF) >> PAGE_SHIFT
-        pte = self.tlb.lookup(vpn, access, user)
-        if pte is not None:
+        va &= 0xFFFFFFFF
+        vpn = va >> PAGE_SHIFT
+        # Inlined TLB.lookup (this is the hottest call chain in the
+        # whole simulator): same hit conditions, same hit/miss stats,
+        # same LRU touch.
+        tlb = self.tlb
+        pte = tlb._entries.get(vpn)
+        if pte is not None and (
+            (not user or pte & PTE_USER)
+            and (access is not AccessType.WRITE or pte & _WD == _WD)
+            and (access is not AccessType.EXEC or not pte & PTE_NOEXEC)
+        ):
+            tlb._entries.move_to_end(vpn)
+            tlb.stats.hits += 1
             return (pte >> PAGE_SHIFT << PAGE_SHIFT) | (va & 0xFFF), self.costs.tlb_hit_cycles
-        result = self.walker.walk(self.root_pa, va, access, user)
-        self.tlb.insert(vpn, result.pte)
-        cycles = self.costs.tlb_hit_cycles + result.mem_refs * self.costs.mem_ref_cycles
-        return result.paddr, cycles
+        tlb.stats.misses += 1
+        # walk_quick is the allocation-free twin of walker.walk: same
+        # counters, same fault order, same A/D write visibility. The
+        # frame bits of the returned PTE equal WalkResult.paddr's frame
+        # (A/D updates never touch the frame field).
+        pte = self.walker.walk_quick(self.root_pa, va, access, user)
+        tlb.insert(vpn, pte)
+        return (pte >> PAGE_SHIFT << PAGE_SHIFT) | (va & 0xFFF), self.costs.tlb_miss_cycles
 
     def set_root(self, root_pa: int) -> None:
         self.root_pa = root_pa & ~0xFFF

@@ -14,8 +14,11 @@ Two comparison groups run the same guest image:
   page-table span masked (the walker sets accessed/dirty bits at
   TLB-miss time, which legitimately differs between shadow fills and
   nested walks). Cycle counts are never compared across configs --
-  cost models differ by design -- and instret only between the two
-  hardware-assist configs (BT monitor callouts do not retire).
+  cost models differ by design. instret *is* comparable everywhere
+  (BT monitor callouts retire, mirroring intercepted-and-emulated
+  instructions under hardware assist), though against BT only on
+  clean halts: at an instruction limit BT overshoots to a block
+  boundary.
 
 Outcomes are normalized to classes first; a cycle-guard trip is a
 ``hang`` (always a failure: some backend stopped making progress), and
@@ -240,7 +243,9 @@ def compare_vmm(results: List[Dict]) -> Tuple[Optional[str], List[str],
         # BT stops at the same architectural point on a halt; at an
         # instruction limit it legitimately overshoots (its run loop is
         # cycle-bounded), so BT state is only checked on clean exits.
-        fields = diff_state(hw_s, bt, with_instret=False)
+        # instret is compared too: monitor callouts retire exactly like
+        # their intercepted-and-emulated hardware-assist counterparts.
+        fields = diff_state(hw_s, bt, with_instret=True)
         if fields:
             return "divergence", fields, ("hw-shadow", "bt-shadow")
     return None, [], None

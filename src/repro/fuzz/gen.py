@@ -16,7 +16,8 @@ fixed parts plus a variable body:
   emitted by one weighted template (ALU churn, loads, wild stores,
   branches, self-modifying code, trap-vector corruption, page-table
   root switches, TLB shootdowns, mode switches into a user stub,
-  virtio kicks, ...), NOP-padded, ending in a ``syscall 0x7FF`` tail.
+  virtio kicks, inline-cache stress loops, ...), NOP-padded, ending in
+  a ``syscall 0x7FF`` tail.
 
 Determinism contract: the layout (paging on/off, register seeds, alias
 mappings, restricted-root flags) derives from ``fork(case_seed, 1)``
@@ -519,6 +520,92 @@ class _BodyGen:
                   + encode(Op.JAL, imm32=victim))               # re-enter
         return [_pad_cell(cell_a), _pad_cell(cell_b), _pad_cell(cell_w)]
 
+    def t_ic_loop(self, index: int):
+        """Bounded load/store self-loop stressing the JIT inline caches.
+
+        Cell S seeds a trip counter (r13) and a data pointer (r12);
+        cell L is a tight load/store loop whose backward branch targets
+        its own start, so the block JIT compiles it as a self-looping
+        closure with per-site inline caches -- then drops one chaos op
+        into every iteration, chosen per-case:
+
+        * ``tight``       -- extra load only: steady-state IC hits and
+          store->load forwarding,
+        * ``invlpg``      -- INVLPG on the touched page: the cached
+          translation dies every iteration, forcing the IC miss path,
+        * ``invlpg_wild`` -- INVLPG on an unrelated page: must *not*
+          disturb the IC for the touched page,
+        * ``root``        -- CSRW PTBR mid-loop: a full TLB flush per
+          iteration (sometimes the restricted root, so the accesses
+          themselves start faulting),
+        * ``smc``         -- store a NOP word into the body page's dead
+          tail: fires the code-page write watcher and invalidates the
+          loop's own block every iteration,
+        * ``syscall``     -- a trap/IRET round-trip mid-loop: MODE is
+          rewritten twice per iteration and the block re-enters through
+          the partial-progress accounting path,
+        * ``user``        -- after the loop drains, IRET into the user
+          stub, which re-reads the just-touched data page in user mode.
+
+        Only r9..r13 are used: the trap vector clobbers r14/r15, and
+        the faulting variants must keep the trip counter alive so the
+        loop always terminates.
+        """
+        variants = ["tight", "syscall", "smc"]
+        if self.layout.paging:
+            variants += ["invlpg", "invlpg_wild", "root"]
+        if self.ncells - index >= 3:
+            variants.append("user")
+        kind = self.rng.choice(variants)
+
+        trips = self.rng.randint(4, 10)
+        setup = [
+            encode(Op.MOVI, rd=13, imm32=trips),
+            encode(Op.MOVI, rd=12, imm32=self._safe_addr()),
+        ]
+        loop_va = _cell_addr(index + 1)
+        body = [
+            encode(Op.LD, rd=11, ra=12),
+            encode(Op.ST, ra=12, rb=11, simm12=4),
+        ]
+        if kind == "invlpg":
+            body.append(encode(Op.INVLPG, ra=12))
+        elif kind == "invlpg_wild":
+            other = self.rng.choice([VEC_BASE, LOG_BASE, ALIAS_BASE,
+                                     STACK_TOP - PAGE])
+            setup.append(encode(Op.MOVI, rd=10, imm32=other))
+            body.append(encode(Op.INVLPG, ra=10))
+        elif kind == "root":
+            root = self.rng.choice([ROOT0, ROOT0, ROOT1])
+            setup.append(encode(Op.MOVI, rd=10, imm32=root))
+            body.append(encode(Op.CSRW, ra=10, simm12=int(CSR.PTBR)))
+        elif kind == "smc":
+            # Dead tail: past build_tail(), inside the (executed, hence
+            # write-watched) body page, never fetched.
+            dead = (_cell_addr(self.ncells) + 16
+                    + 4 * self.rng.randint(0, 16))
+            setup.append(encode(Op.MOVI, rd=10, imm32=dead))
+            setup.append(encode(Op.MOVI, rd=9,
+                                imm32=int.from_bytes(_NOP, "little")))
+            body.append(encode(Op.ST, ra=10, rb=9))
+        elif kind == "syscall":
+            body.append(encode(Op.SYSCALL, simm12=0x41))
+        else:  # tight / user
+            body.append(encode(Op.LD, rd=10, ra=12, simm12=8))
+        body.append(encode(Op.SUB, rd=13, ra=13, imm32=1))
+        body.append(encode(Op.BNE, ra=13, rb=0, imm32=loop_va))
+
+        cells = [_pad_cell(b"".join(setup)), _pad_cell(b"".join(body))]
+        if kind == "user":
+            off = self.rng.choice([0, 12])  # 12 skips the PRIV fault
+            cells.append(_pad_cell(
+                encode(Op.MOVI, rd=14, imm32=1)
+                + encode(Op.CSRW, ra=14, simm12=int(CSR.ESTATUS))
+                + encode(Op.MOVI, rd=14, imm32=USER_STUB + off)
+                + encode(Op.CSRW, ra=14, simm12=int(CSR.EPC))
+                + encode(Op.IRET)))
+        return cells
+
     def t_vbar(self):
         target = self.rng.choice([0, 0x500, DATA_BASE + 0x2000, VEC_BASE,
                                   VEC_BASE])
@@ -608,6 +695,7 @@ _TEMPLATES = [
     ("jalr_wild", 1, False),
     ("smc", 2, False),
     ("smc_loop", 4, False),
+    ("ic_loop", 6, False),
     ("vbar", 2, False),
     ("ptbr", 3, True),
     ("invlpg", 3, True),
@@ -663,6 +751,14 @@ def generate_case(root_seed: int, case_index: int) -> CaseSpec:
             else:
                 gen.counts[name] = gen.counts.get(name, 0) + 1
                 cells.extend(gen.t_smc_loop(index))
+                continue
+        elif name == "ic_loop":
+            if ncells - index < 2:
+                name = "alu"
+                code = gen.t_alu()
+            else:
+                gen.counts[name] = gen.counts.get(name, 0) + 1
+                cells.extend(gen.t_ic_loop(index))
                 continue
         elif name == "smc":
             code = gen.t_smc(index)

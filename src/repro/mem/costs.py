@@ -60,6 +60,15 @@ class CostModel:
     #: table under shadow paging.
     shadow_ptwrite_cycles: int = 500
 
+    @property
+    def tlb_miss_cycles(self) -> int:
+        """Charge for a translate that misses: hit probe + 2-level walk.
+
+        Kept as a derived property (not a field) so ablation overrides
+        of ``tlb_hit_cycles``/``mem_ref_cycles`` stay consistent.
+        """
+        return self.tlb_hit_cycles + 2 * self.mem_ref_cycles
+
     def with_(self, **overrides) -> "CostModel":
         """Return a copy with some fields replaced (ablation helper)."""
         return replace(self, **overrides)

@@ -14,6 +14,7 @@ successful walk; the dirty bit is set at the leaf on writes.
 """
 
 import enum
+import struct
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple
 
@@ -29,6 +30,8 @@ PTE_DIRTY = 1 << 4
 PTE_NOEXEC = 1 << 5
 
 _FLAGS_MASK = (1 << PAGE_SHIFT) - 1
+
+_U32 = struct.Struct("<I")
 
 #: Entries per page-table page (4096 / 4).
 ENTRIES_PER_TABLE = 1024
@@ -158,6 +161,59 @@ class PageTableWalker:
             pte=pte,
             mem_refs=2,
         )
+
+    def walk_quick(
+        self, root_pa: int, va: int, access: AccessType, user: bool
+    ) -> int:
+        """Translate ``va`` and return the post-A/D leaf PTE.
+
+        Semantically identical to :meth:`walk` with ``set_ad=True`` --
+        same walk/fault counting, same fault order, same A/D update
+        order -- but reads table entries straight from the backing
+        buffer and skips the :class:`WalkResult` allocation. A/D
+        updates still go through ``physmem.write_u32`` so write
+        watchers (SMC invalidation, dirty tracking) observe them. This
+        is the hot translate path of :class:`~repro.cpu.mmu.BareMMU`;
+        the virtualized MMUs keep the structured :meth:`walk`.
+        """
+        self.walks += 1
+        pm = self.physmem
+        buf = pm._data
+        size = pm.size
+        pde_pa = root_pa + ((va >> 22) & 0x3FF) * 4
+        if pde_pa + 4 > size:
+            pm.read_u32(pde_pa)  # out of RAM: raise the canonical error
+        pde = _U32.unpack_from(buf, pde_pa)[0]
+        if not pde & PTE_PRESENT:
+            self.faults += 1
+            raise PageFault(va, access, user, present=False)
+        pte_pa = (pde >> PAGE_SHIFT << PAGE_SHIFT) + ((va >> 12) & 0x3FF) * 4
+        if pte_pa + 4 > size:
+            pm.read_u32(pte_pa)
+        pte = _U32.unpack_from(buf, pte_pa)[0]
+        if not pte & PTE_PRESENT:
+            self.faults += 1
+            raise PageFault(va, access, user, present=False)
+        combined = pde & pte
+        if user and not combined & PTE_USER:
+            self.faults += 1
+            raise PageFault(va, access, user, present=True)
+        if access is AccessType.WRITE and not combined & PTE_WRITABLE:
+            self.faults += 1
+            raise PageFault(va, access, user, present=True)
+        if access is AccessType.EXEC and pte & PTE_NOEXEC:
+            self.faults += 1
+            raise PageFault(va, access, user, present=True)
+        new_pde = pde | PTE_ACCESSED
+        if new_pde != pde:
+            pm.write_u32(pde_pa, new_pde)
+        new_pte = pte | PTE_ACCESSED
+        if access is AccessType.WRITE:
+            new_pte |= PTE_DIRTY
+        if new_pte != pte:
+            pm.write_u32(pte_pa, new_pte)
+            pte = new_pte
+        return pte
 
 
 class AddressSpace:

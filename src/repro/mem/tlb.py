@@ -63,6 +63,17 @@ class TLB:
         #: memoize a translation snapshot the epoch and revalidate with
         #: one integer compare instead of a full lookup.
         self.epoch = 0
+        #: Bound alias of ``self._entries.get``: the cached leaf PTE for
+        #: a vpn (or None) with no permission check, no stats, no LRU
+        #: touch. The JIT's inline caches revalidate by comparing this
+        #: against the PTE they cached at fill time -- equality implies
+        #: the reference :meth:`lookup` would hit with the identical
+        #: outcome for the same (access, user), because the permission
+        #: result is a pure function of the PTE value. Any invalidation
+        #: source (invlpg, flush/root switch, eviction, PTE change)
+        #: either removes the entry or changes its value, so the compare
+        #: fails and the fast path falls back to the reference walk.
+        self.entry_get = self._entries.get
 
     def lookup(self, vpn: int, access: AccessType, user: bool) -> Optional[int]:
         """Return the cached PTE if present and permitting; else None (miss).

@@ -205,7 +205,30 @@ def test_unrelated_invalidation_keeps_chains():
     assert vm.vcpus[0].cpu.regs[2] == 50  # far ran 50 times in total
 
 
-@pytest.mark.parametrize("src", [BASIC, TWO_PAGE], ids=["basic", "two_page"])
+DIV0_IN_GUARDED = """
+    li a0, vec
+    csrw VBAR, a0        ; callout: the block keeps going
+    li a1, 40
+    li a2, 0x800
+    st [a2+0], a1        ; memory op arms the closure's fault bookkeeping
+    ld a3, [a2+0]
+    li t0, 0
+    remu t1, a1, t0      ; DIV0 trap *after* the guarded accesses
+    li a3, 0xbeef        ; must not run before the trap
+    hlt
+vec:
+    csrr a2, ECAUSE
+    li a0, 1
+    out 0xf0, a0
+    hlt
+"""
+
+
+@pytest.mark.parametrize(
+    "src",
+    [BASIC, TWO_PAGE, DIV0_IN_GUARDED],
+    ids=["basic", "two_page", "div0_guarded"],
+)
 def test_fused_blocks_match_item_interpreter(src):
     """Closure-fused translated blocks must be cycle-exact with the
     per-item reference walk."""
@@ -225,3 +248,44 @@ def test_fused_blocks_match_item_interpreter(src):
             vm.stats.bt_callouts, vm.stats.bt_chained,
         ))
     assert states[0] == states[1]
+
+
+PTBR_SWITCH = """
+    li a0, 0x20000       ; page directory
+    li a1, 0x21007       ; PDE -> page table at 0x21000, P|W|U
+    st [a0+0], a1
+    li a0, 0x21000
+    li a2, 0x2007        ; vpn 2 -> frame 0x2000 (the vector page), P|W|U
+    st [a0+8], a2        ; PT[2]; vpn 1 -- this code page -- stays unmapped
+    li a0, vec
+    csrw VBAR, a0
+    li t0, tail          ; VA whose fetch must fault under the new root
+    li t1, 0x20000
+    csrw PTBR, t1        ; fetch translation changes HERE
+tail:
+    li t2, 0xdead        ; decoded under the old root: must never execute
+    hlt
+    .space 4096
+vec:
+    csrr a1, ECAUSE
+    csrr a2, EVAL
+    li a0, 1
+    out 0xf0, a0
+    hlt
+"""
+
+
+def test_ptbr_write_ends_translated_block():
+    """A CSRW PTBR mid-block changes instruction-fetch translation; the
+    instructions decoded after it under the old root must not run.  The
+    translator has to end the block at the write so dispatch re-fetches
+    (and here re-faults: vpn 1 is unmapped under the new root) exactly
+    like hardware."""
+    from repro.cpu.isa import Cause
+
+    _, vm, outcome = run_bt(PTBR_SWITCH)
+    assert outcome is RunOutcome.SHUTDOWN
+    cpu = vm.vcpus[0].cpu
+    assert cpu.regs[7] != 0xdead  # the stale tail never executed
+    assert cpu.regs[2] == int(Cause.PF_EXEC)  # ECAUSE seen by the vector
+    assert cpu.regs[3] == cpu.regs[5]  # EVAL == VA of the stale tail

@@ -25,9 +25,9 @@ from repro.util.units import MIB, PAGE_SIZE
 VEC = 0x3000
 
 
-def _make_cpu(jit: bool):
+def _make_cpu(jit: bool, tlb_entries: int = 64):
     pm = PhysicalMemory(1 * MIB)
-    cpu = CPUCore(BareMMU(pm, CostModel()), jit=jit)
+    cpu = CPUCore(BareMMU(pm, CostModel(), tlb_entries=tlb_entries), jit=jit)
     cpu.reset(0x1000)
     return cpu, pm
 
@@ -53,12 +53,13 @@ def _snapshot(cpu, pm):
     }
 
 
-def _run_pair(image, *, setup=None, max_instructions=50_000, org=0x1000):
+def _run_pair(image, *, setup=None, max_instructions=50_000, org=0x1000,
+              tlb_entries=64):
     """Run ``image`` on both engines; assert identical outcomes."""
     outcomes = []
     cpus = []
     for jit in (False, True):
-        cpu, pm = _make_cpu(jit)
+        cpu, pm = _make_cpu(jit, tlb_entries=tlb_entries)
         pm.write_bytes(org, image)
         pm.write_bytes(VEC, encode(Op.HLT))
         cpu.csr[CSR.VBAR] = VEC
@@ -403,6 +404,197 @@ loop:
         _, out = _run_pair(image, setup=setup)
         assert out["stop"] is StopReason.HALT
         assert out["regs"][11] == 22  # load came from the *second* space
+
+
+class TestInlineCacheEdges:
+    """Edge cases of the compiled-block inline-cache fast path."""
+
+    def test_guard_bailout_replays_tail_exactly_once(self):
+        # TLB capacity 4 but six data pages touched by one straight-line
+        # block: the data walks evict the code-page entry mid-block, the
+        # code-page guard trips after the slow-path translate, and the
+        # tail of the block replays through the dispatcher. Cycles, TLB
+        # stats, and memory must come out identical -- the replayed ops
+        # must be charged exactly once.
+        image = _asm(
+            """
+.org 0x1000
+    li t1, 77
+    li s0, 0x100000
+    st [s0+0], t1
+    add s0, s0, 4096
+    st [s0+0], t1
+    add s0, s0, 4096
+    st [s0+0], t1
+    add s0, s0, 4096
+    st [s0+0], t1
+    add s0, s0, 4096
+    st [s0+0], t1
+    add s0, s0, 4096
+    st [s0+0], t1
+    add t1, t1, 1
+    hlt
+"""
+        )
+        cpu, out = _run_pair(
+            image,
+            setup=lambda c, p: TestPaging._setup_paging(c, p, pages=8),
+            tlb_entries=4,
+        )
+        assert out["stop"] is StopReason.HALT
+        assert out["tlb_stats"][2] > 0  # evictions actually happened
+        assert cpu.jit_stats()["blocks_compiled"] > 0
+
+    def test_self_loop_under_constant_code_page_eviction(self):
+        # The inner loop is a self-looping compiled block whose data
+        # walk keeps evicting its own code page from the 4-entry TLB,
+        # so it can never settle into the in-closure loop for long.
+        image = _asm(
+            """
+.org 0x1000
+    li t0, 6
+outer:
+    li s0, 0x100000
+    li s1, 6
+page:
+    st [s0+0], s1
+    ld s2, [s0+0]
+    add s0, s0, 4096
+    sub s1, s1, 1
+    bnez s1, page
+    sub t0, t0, 1
+    bnez t0, outer
+    hlt
+"""
+        )
+        cpu, out = _run_pair(
+            image,
+            setup=lambda c, p: TestPaging._setup_paging(c, p, pages=8),
+            tlb_entries=4,
+        )
+        assert out["stop"] is StopReason.HALT
+        assert out["tlb_stats"][2] > 0
+        assert cpu.jit_stats()["blocks_compiled"] > 0
+
+    def test_epoch_counter_overflow(self):
+        # TLB epochs only ever increment; pre-seed the counter just
+        # below 2**63 so the eviction-heavy run carries it across the
+        # boundary while compiled blocks are live. Python ints don't
+        # wrap, but the compiled code must keep agreeing with the
+        # interpreter while epochs exceed any fixed word size.
+        def setup(cpu, pm):
+            TestPaging._setup_paging(cpu, pm, pages=8)
+            cpu.mmu.tlb.epoch = (1 << 63) - 2
+
+        image = _asm(
+            """
+.org 0x1000
+    li t0, 4
+outer:
+    li s0, 0x100000
+    li s1, 8
+page:
+    st [s0+0], s1
+    add s0, s0, 4096
+    sub s1, s1, 1
+    bnez s1, page
+    sub t0, t0, 1
+    bnez t0, outer
+    hlt
+"""
+        )
+        cpu, out = _run_pair(image, setup=setup, tlb_entries=4)
+        assert out["stop"] is StopReason.HALT
+        assert cpu.mmu.tlb.epoch >= (1 << 63)
+
+    # -- warm-state resume (migration / micro-reboot analogues) -----------
+
+    _RESUME_IMAGE = """
+.org 0x1000
+    li t0, 12
+outer:
+    li s0, 0x100000
+    li s1, 20
+page:
+    st [s0+0], s1
+    ld s2, [s0+0]
+    add s0, s0, 4096
+    sub s1, s1, 1
+    bnez s1, page
+    sub t0, t0, 1
+    bnez t0, outer
+    hlt
+"""
+
+    @classmethod
+    def _boot(cls, image):
+        cpu, pm = _make_cpu(jit=True)
+        pm.write_bytes(0x1000, image)
+        pm.write_bytes(VEC, encode(Op.HLT))
+        cpu.csr[CSR.VBAR] = VEC
+        TestPaging._setup_paging(cpu, pm)
+        return cpu, pm
+
+    @staticmethod
+    def _restore_into(dst_cpu, dst_pm, src_cpu, src_pm):
+        """Copy full simulated state, the way ``restore_vm`` does for
+        architectural state -- plus TLB/walker state, which at this
+        layer is part of the deterministic contract."""
+        dst_pm.write_bytes(0, src_pm.read_bytes(0, src_pm.size))
+        dst_cpu.regs = list(src_cpu.regs)
+        dst_cpu.pc = src_cpu.pc
+        dst_cpu.csr = list(src_cpu.csr)
+        dst_cpu.cycles = src_cpu.cycles
+        dst_cpu.instret = src_cpu.instret
+        dst_cpu.halted = src_cpu.halted
+        dst_cpu.mmu.root_pa = src_cpu.mmu.root_pa
+        dst_cpu.mmu.paging_enabled = src_cpu.mmu.paging_enabled
+        dst_tlb, src_tlb = dst_cpu.mmu.tlb, src_cpu.mmu.tlb
+        # In-place: the compiled fast path holds bound references to
+        # the entry table.
+        dst_tlb._entries.clear()
+        dst_tlb._entries.update(src_tlb._entries)
+        dst_tlb.epoch = src_tlb.epoch
+        for f in ("hits", "misses", "flushes", "invalidations", "evictions"):
+            setattr(dst_tlb.stats, f, getattr(src_tlb.stats, f))
+        dst_cpu.mmu.walker.walks = src_cpu.mmu.walker.walks
+        dst_cpu.mmu.walker.faults = src_cpu.mmu.walker.faults
+
+    def test_warm_ic_continuation_equals_cold_resume(self):
+        # Live-migration resume analogue: stop mid-workload with warm
+        # inline caches, clone the full state into a never-run core
+        # (whose JIT is cold, as after restore_vm), finish both. The
+        # warm ICs must be pure cache: final state bit-identical.
+        image = _asm(self._RESUME_IMAGE)
+        warm, warm_pm = self._boot(image)
+        warm.run(max_instructions=500)
+        assert not warm.halted
+        assert warm.jit_stats()["blocks_compiled"] > 0  # ICs are warm
+        cold, cold_pm = self._boot(image)
+        self._restore_into(cold, cold_pm, warm, warm_pm)
+        warm.run(max_instructions=50_000)
+        cold.run(max_instructions=50_000)
+        assert _snapshot(warm, warm_pm) == _snapshot(cold, cold_pm)
+
+    def test_restore_over_warm_core_invalidates_stale_ics(self):
+        # Micro-reboot analogue with a twist: the receiving core has
+        # *already* compiled blocks and trained ICs for the same code
+        # pages. Restoring rewrites guest memory, which must fire the
+        # code-page write watcher and invalidate every stale block; the
+        # rebooted core then has to agree with an uninterrupted run.
+        image = _asm(self._RESUME_IMAGE)
+        ref, ref_pm = self._boot(image)
+        ref.run(max_instructions=50_000)
+        assert ref.halted
+
+        warm, warm_pm = self._boot(image)
+        warm.run(max_instructions=500)
+        target, target_pm = self._boot(image)
+        target.run(max_instructions=300)  # trains ICs at a *different* point
+        assert target.jit_stats()["blocks_compiled"] > 0
+        self._restore_into(target, target_pm, warm, warm_pm)
+        target.run(max_instructions=50_000)
+        assert _snapshot(target, target_pm) == _snapshot(ref, ref_pm)
 
 
 class TestEngineManagement:
