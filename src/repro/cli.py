@@ -225,14 +225,16 @@ def _cmd_fuzz(args) -> int:
     if args.max_instructions is not None:
         opts["max_instructions"] = args.max_instructions
     # Fault-schedule differential runs are on by default: every config
-    # also executes under a seeded virtio.ring_stuck schedule, which
-    # has to agree across backends just like the fault-free run.
+    # also executes under seeded virtio.ring_stuck and irq.* schedules,
+    # which have to agree across backends just like the fault-free run.
     if args.no_faults:
         opts["fault_rate"] = 0.0
     elif args.faults is not None:
         opts["fault_rate"] = args.faults
     else:
         opts["fault_rate"] = DEFAULT_FUZZ_FAULT_RATE
+    if args.no_events:
+        opts["events"] = False
     opts["bug"] = args.bug
 
     out = run_campaign(args.seed, args.cases, jobs=max(1, args.jobs),
@@ -252,6 +254,21 @@ def _cmd_fuzz(args) -> int:
         if args.out:
             print(f"artifacts         : {args.out}/")
     return 1 if out["failures"] else 0
+
+
+def _cmd_faults(args) -> int:
+    from repro.faults.injector import site_catalog
+
+    if not args.list:
+        print("nothing to do (try --list)", file=sys.stderr)
+        return 2
+    sites = site_catalog()
+    width = max(len(site) for site, _d in sites)
+    for site, description in sites:
+        subsystem = site.split(".", 1)[0]
+        print(f"{site:{width}s}  [{subsystem}]  {description}")
+    print(f"\n{len(sites)} registered fault sites")
+    return 0
 
 
 def _cmd_boot(args) -> int:
@@ -374,8 +391,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="guest instruction budget per case")
     fuzz_p.add_argument("--faults", type=float, default=None, metavar="RATE",
                         help="fault-schedule rate for the seeded "
-                             "virtio.ring_stuck differential runs "
-                             f"(default {DEFAULT_FUZZ_FAULT_RATE})")
+                             "virtio.ring_stuck and irq.* differential "
+                             f"runs (default {DEFAULT_FUZZ_FAULT_RATE})")
     fuzz_p.add_argument("--no-faults", action="store_true",
                         help="disable the fault-schedule differential "
                              "runs (fault-free configs only)")
@@ -387,8 +404,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     fuzz_p.add_argument("--replay", default=None, metavar="DIR",
                         help="replay a corpus directory as a regression "
                              "suite instead of fuzzing")
+    fuzz_p.add_argument("--no-events", action="store_true",
+                        help="disable the seeded asynchronous event "
+                             "schedules (interrupt-free runs)")
     fuzz_p.add_argument("--json", action="store_true",
                         help="print the campaign manifest as JSON")
+
+    faults_p = sub.add_parser(
+        "faults", help="inspect the fault-injection registry"
+    )
+    faults_p.add_argument("--list", action="store_true",
+                          help="enumerate every registered fault site "
+                               "with its subsystem and description")
 
     args = parser.parse_args(argv)
     if args.command == "list":
@@ -401,6 +428,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_shardbench(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "faults":
+        return _cmd_faults(args)
     return _cmd_boot(args)
 
 

@@ -29,7 +29,7 @@ from repro.core.emulate import emulate_privileged
 from repro.core.vcpu import VCPU
 from repro.cpu.exits import ExitReason, VMExit
 from repro.cpu.interp import TrapInfo
-from repro.cpu.jit import compile_bt_block
+from repro.cpu.jit import _STORE_OPS, compile_bt_block
 from repro.cpu.isa import CSR, Cause, Instruction, MODE_KERNEL, Op
 from repro.mem.costs import CostModel
 from repro.mem.paging import AccessType, PageFault
@@ -113,6 +113,12 @@ class BTEngine:
         #: backed by the written frame's guest page(s).
         self._watched_hfns: Set[int] = set()
         self._hfn_gfns: Dict[int, Set[int]] = {}
+        #: Invalidation epoch, shared with fused closures: bumped on
+        #: every cache invalidation so an in-flight block can bail at
+        #: the store that rewrote translated code. The next fetch then
+        #: re-translates from the new bytes -- same strict
+        #: SMC-visible-at-next-fetch rule the bare-core JIT enforces.
+        self._epoch = [0]
         self.vcpu.cpu.mmu.physmem.watch_writes(
             self._watched_hfns, self._on_code_write
         )
@@ -136,9 +142,22 @@ class BTEngine:
             self._costs_sig = sig
             for cached in self._cache.values():
                 cached.fn = None  # closures bake costs in; recompile
-        while (
-            self.vcpu.virtual_mode == MODE_KERNEL and not self.vcpu.halted
-        ):
+        events = cpu.events
+        while True:
+            if events is not None and cpu.instret >= events.next_due:
+                # Retire-edge event firing, before the halt check: a
+                # raise can wake a virtually-halted guest, exactly as
+                # the hardware-assist core wakes in its run loop.
+                events.fire_due(cpu.instret)
+            if vm.pending_virqs and self.vcpu.vcsr[CSR.IE]:
+                # Unmasked pending virq: deliver before the next fetch
+                # (the same edge the hardware-assist core delivers at).
+                self.vcpu.halted = False
+                self.vcpu.try_inject_virq()
+                prev_block_va = None
+                continue
+            if self.vcpu.virtual_mode != MODE_KERNEL or self.vcpu.halted:
+                break
             if max_cycles is not None and cpu.cycles - start_cycles >= max_cycles:
                 return "budget"
             key = self._key(cpu.pc)
@@ -171,7 +190,16 @@ class BTEngine:
             else:
                 cpu.cycles += self.costs.bt_dispatch_cycles
             prev_block_va = block.start_va
-            self._execute_block(block)
+            if (
+                events is not None
+                and block.num_instructions > events.next_due - cpu.instret
+            ):
+                # A scheduled edge falls inside this block: walk it
+                # item-by-item so the event fires (and delivers) at the
+                # exact retire edge instead of the block boundary.
+                self._execute_block_edge(block, events)
+            else:
+                self._execute_block(block)
         return "halted" if self.vcpu.halted else "mode_switch"
 
     def invalidate_gfn(self, gfn: int) -> None:
@@ -180,6 +208,7 @@ class BTEngine:
         keys = self._gfn_blocks.pop(gfn, None)
         if not keys:
             return
+        self._epoch[0] += 1
         for key in keys:
             self._cache.pop(key, None)
         # Drop only chains touching an invalidated block's entry point
@@ -193,6 +222,7 @@ class BTEngine:
         }
 
     def flush(self) -> None:
+        self._epoch[0] += 1
         self._cache.clear()
         self._chains.clear()
         self._gfn_blocks.clear()
@@ -308,15 +338,58 @@ class BTEngine:
             fn = block.fn = compile_bt_block(self, block)
         fn(self.vcpu.cpu)
 
+    def _execute_block_edge(self, block: TranslatedBlock, events) -> None:
+        """Per-item walk honouring retire-edge event delivery.
+
+        Used instead of the fused closure when a scheduled event edge
+        lands inside the block. Cycle charges are identical to
+        :meth:`_execute_block_interp` (which the closures match
+        cycle-for-cycle), so which executor ran is invisible to the
+        differential comparison.
+        """
+        vcpu = self.vcpu
+        cpu = vcpu.cpu
+        vm = vcpu.vm
+        costs = self.costs
+        epoch = self._epoch
+        e0 = epoch[0]
+        last = block.items[-1]
+        for item in block.items:
+            kind, ins = item
+            if cpu.instret >= events.next_due:
+                events.fire_due(cpu.instret)
+                if vm.pending_virqs and vcpu.vcsr[CSR.IE]:
+                    vcpu.halted = False
+                    vcpu.try_inject_virq()
+                    return
+            if kind == "native":
+                cpu.cycles += costs.instr_cycles
+                cpu.execute(ins)  # VMExit may propagate (guest fault)
+                if ins.op in _STORE_OPS and epoch[0] != e0 and item is not last:
+                    return
+            else:
+                cpu.cycles += costs.bt_callout_cycles
+                if self._callout(ins):
+                    return
+
     def _execute_block_interp(self, block: TranslatedBlock) -> None:
         """Reference per-item walk; the oracle the fused closures must
         match cycle-for-cycle (see tests/test_cpu_jit.py)."""
         cpu = self.vcpu.cpu
         costs = self.costs
-        for kind, ins in block.items:
+        epoch = self._epoch
+        e0 = epoch[0]
+        last = block.items[-1]
+        for item in block.items:
+            kind, ins = item
             if kind == "native":
                 cpu.cycles += costs.instr_cycles
                 cpu.execute(ins)  # VMExit may propagate (guest fault)
+                # The store may have rewritten translated code (ours
+                # included): stop at the boundary so the next fetch
+                # re-translates from the new bytes.
+                if ins.op in _STORE_OPS and epoch[0] != e0 and item is not last:
+                    return
             else:
                 cpu.cycles += costs.bt_callout_cycles
                 stop = self._callout(ins)
@@ -358,13 +431,36 @@ class BTEngine:
             vm.stats.hypercalls += 1
             cpu.cycles += self.costs.hypercall_cycles
             self.hypercall_handler(vcpu, ins.simm12 & 0xFFF)
-            return vcpu.halted or vcpu.virtual_mode != MODE_KERNEL
+            if vcpu.halted or vcpu.virtual_mode != MODE_KERNEL:
+                return True
+            return self._post_retire_inject()
 
         if op in (Op.IN, Op.OUT):
             cpu.cycles += self.costs.emulate_cycles
         emulate_privileged(vcpu, ins, port_bus=self.port_bus)
         if op is Op.IRET:
-            return vcpu.virtual_mode != MODE_KERNEL
-        if op is Op.HLT:
+            if vcpu.virtual_mode != MODE_KERNEL:
+                return True
+        elif op is Op.HLT:
+            return True
+        return self._post_retire_inject()
+
+    def _post_retire_inject(self) -> bool:
+        """Delivery edge after a non-stopping callout retires.
+
+        First fire any schedule event due at this retire edge (device
+        raises from the emulated instruction itself come first, matching
+        the hardware core's execute-then-fire order -- and keeping the
+        timer-vs-device priority race identical), then deliver an
+        unmasked pending virq before the next item executes. Returns
+        True when an injection redirected the pc (the block must stop).
+        """
+        vcpu = self.vcpu
+        cpu = vcpu.cpu
+        events = cpu.events
+        if events is not None and cpu.instret >= events.next_due:
+            events.fire_due(cpu.instret)
+        if vcpu.vm.pending_virqs and vcpu.vcsr[CSR.IE]:
+            vcpu.try_inject_virq()
             return True
         return False

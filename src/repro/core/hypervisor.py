@@ -35,6 +35,7 @@ from repro.devices.bus import PortBus
 from repro.devices.console import CONSOLE_BASE, ConsoleDevice
 from repro.devices.irq import (
     IRQ_BLOCK_LINE,
+    IRQ_CONSOLE_LINE,
     IRQ_NET_LINE,
     IRQ_TIMER_LINE,
     IRQ_VIRTIO_BLK_LINE,
@@ -336,12 +337,11 @@ class Hypervisor:
 
     def _attach_devices(self, vm: VirtualMachine) -> None:
         vm.port_bus = PortBus()
-        vm.pic = InterruptController(sink=vm)
+        dev_scope = vm.metrics.scope("dev")
+        vm.pic = InterruptController(sink=vm, metrics=dev_scope.scope("irq"))
         vm.port_bus.register(vm.pic, PIC_BASE, 1)
 
-        dev_scope = vm.metrics.scope("dev")
-
-        console = ConsoleDevice()
+        console = ConsoleDevice(irq=vm.pic.line(IRQ_CONSOLE_LINE))
         vm.port_bus.register(console, CONSOLE_BASE, 2)
         vm.devices["console"] = console
 
@@ -453,6 +453,16 @@ class Hypervisor:
 
             timer.rebase_if_armed(cpu.cycles)
             timer.tick(cpu.cycles)
+
+            # Retire-edge events due at the boundary we exited on must
+            # fire before the idle check: an intercepted instruction
+            # (e.g. a HLT exit) leaves the core's own run loop before
+            # its top-of-loop poll can see an event due at that exact
+            # edge, and a raise may be the only thing that wakes the
+            # guest.
+            events = cpu.events
+            if events is not None and cpu.instret >= events.next_due:
+                events.fire_due(cpu.instret)
 
             if self._vm_idle(vm, vcpu):
                 deadline = timer.next_deadline()

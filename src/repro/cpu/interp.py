@@ -68,6 +68,9 @@ class StopReason(enum.Enum):
     INSTR_LIMIT = "instr_limit"
     CYCLE_LIMIT = "cycle_limit"
     VMEXIT = "vmexit"
+    #: An attached EventSchedule fired with ``exit_on_fire`` set: the
+    #: caller (a VMM pump) gets control to inject before re-entry.
+    EVENT = "event"
 
 
 @dataclass
@@ -144,6 +147,11 @@ class CPUCore:
         self.instret = 0
         self.pending_irqs = set()
         self.halted = False
+        #: Optional :class:`~repro.devices.schedule.EventSchedule`:
+        #: asynchronous device events keyed on this core's retire count,
+        #: fired at exact instruction edges by every run loop. None
+        #: means no schedule (the common case).
+        self.events = None
         #: Budget ceilings published for self-looping compiled blocks:
         #: absolute instret/cycles values past which a block must return
         #: to the dispatcher instead of looping in place. Set per run by
@@ -482,8 +490,14 @@ class CPUCore:
         start_instr = self.instret
         start_cycles = self.cycles
         limit = max_instructions
+        events = self.events
+        limit_stop = start_instr + limit if limit is not None else 1 << 62
+        # Self-looping closures honour _loop_stop at every loop edge, so
+        # folding the next event edge into it is the irq-poll guard: the
+        # closure returns to this dispatcher exactly at the due edge.
         self._loop_stop = (
-            start_instr + limit if limit is not None else 1 << 62
+            min(limit_stop, events.next_due) if events is not None
+            else limit_stop
         )
         self._cycle_stop = (
             start_cycles + cycle_guard if cycle_guard is not None else 1 << 62
@@ -494,6 +508,9 @@ class CPUCore:
         ie = int(CSR.IE)
         mo = int(CSR.MODE)
         while True:
+            if events is not None and self.instret >= events.next_due:
+                events.fire_due(self.instret)
+                self._loop_stop = min(limit_stop, events.next_due)
             if cycle_guard is not None and (
                 self.cycles - start_cycles >= cycle_guard
             ):
@@ -525,7 +542,13 @@ class CPUCore:
                     continue
                 if limit is None:
                     blk = lookup(self.pc, csr[mo])
-                    if blk is None:
+                    if blk is None or (
+                        events is not None
+                        and blk[1] > events.next_due - self.instret
+                    ):
+                        # No straight-line block may retire past a due
+                        # event edge: fall back to stepping so the edge
+                        # lands between instructions, like the oracle.
                         step()
                     else:
                         blk[0](self)
@@ -538,7 +561,10 @@ class CPUCore:
                             self.cycles - start_cycles,
                         )
                     blk = lookup(self.pc, csr[mo])
-                    if blk is None or blk[1] > limit - done:
+                    if blk is None or blk[1] > limit - done or (
+                        events is not None
+                        and blk[1] > events.next_due - self.instret
+                    ):
                         step()
                     else:
                         blk[0](self)
@@ -580,7 +606,20 @@ class CPUCore:
             max_cycles is None or cycle_guard < max_cycles
         ):
             max_cycles = cycle_guard
+        events = self.events
         while True:
+            if events is not None and self.instret >= events.next_due:
+                # The architected delivery rule: an event due at retire
+                # edge N is raised after instruction N retires and, if
+                # unmasked, delivered (inside step) before the fetch of
+                # N+1. Firing precedes the halt check so a raise can
+                # wake a halted core.
+                if events.fire_due(self.instret) and events.exit_on_fire:
+                    return RunResult(
+                        StopReason.EVENT,
+                        self.instret - start_instr,
+                        self.cycles - start_cycles,
+                    )
             if self.halted:
                 if self.csr[CSR.IE] and self.pending_irqs:
                     self.halted = False

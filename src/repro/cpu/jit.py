@@ -225,7 +225,10 @@ def _compile_items(
     has_callout = any(k == "callout" for k, i, _ in items)
     guarded = has_mem  # only memory accesses can raise mid-block
     snapshot = guarded or has_div_reg or has_callout
-    smc_check = layer == "cpu" and has_store
+    # Both layers bail at a store that invalidated compiled code (the
+    # BT engine shares its invalidation epoch the same way the bare
+    # core's BlockJIT does), so rewritten code is fetched fresh.
+    smc_check = has_store and epoch_cell is not None
     # Inline-cached translations: only for directly-walked paging blocks
     # (the BT/virtualized MMUs may VM-exit inside translate).
     fast_mem = track_tlb and has_mem
@@ -732,7 +735,8 @@ def compile_bt_block(engine, block) -> Callable:
         items.append((kind, ins, va))
         va = (va + ins.length) & 0xFFFFFFFF
     return _compile_items(
-        engine.costs, items, layer="bt", callout=engine._callout
+        engine.costs, items, layer="bt", callout=engine._callout,
+        epoch_cell=engine._epoch,
     )
 
 

@@ -1,9 +1,16 @@
-"""Serial console: the guest's printf path.
+"""Serial console: the guest's printf path, plus a small RX side.
 
 Ports::
 
-    CONS_TX     (base+0): write one character (low byte)
-    CONS_STATUS (base+1): read 1 (always ready)
+    CONS_TX     (base+0): write one character (low byte);
+                          read one received character (0 when empty)
+    CONS_STATUS (base+1): read bit0 = TX ready (always 1),
+                          bit1 = RX data available
+
+Received characters arrive via :meth:`push_input` -- host-side test
+harnesses and the seeded :class:`~repro.devices.schedule.EventSchedule`
+use it to model console input interrupts at reproducible points. When
+an ``irq`` line is bound, each pushed character raises it.
 """
 
 from repro.devices.bus import PortDevice
@@ -15,12 +22,15 @@ CONS_STATUS = CONSOLE_BASE + 1
 
 
 class ConsoleDevice(PortDevice):
-    """Write-only character console with a capture buffer."""
+    """Character console with a capture buffer and an input queue."""
 
-    def __init__(self, capacity: int = 1 << 20):
+    def __init__(self, capacity: int = 1 << 20, irq=None):
         self._chars = []
         self.capacity = capacity
         self.chars_written = 0
+        self.irq = irq
+        self._rx = []
+        self.chars_received = 0
 
     @property
     def text(self) -> str:
@@ -32,9 +42,20 @@ class ConsoleDevice(PortDevice):
     def clear(self) -> None:
         self._chars = []
 
+    def push_input(self, value: int) -> None:
+        """Queue one received byte and raise the console IRQ line."""
+        self._rx.append(value & 0xFF)
+        if self.irq is not None:
+            self.irq.raise_()
+
     def port_read(self, port: int) -> int:
         if port == CONS_STATUS:
-            return 1
+            return 1 | (2 if self._rx else 0)
+        if port == CONS_TX:
+            if not self._rx:
+                return 0
+            self.chars_received += 1
+            return self._rx.pop(0)
         raise DeviceError(f"console has no readable port {port:#x}")
 
     def port_write(self, port: int, value: int) -> None:

@@ -21,9 +21,14 @@ from repro.faults.injector import (
     FaultSpec,
     known_sites,
     register_site,
+    site_catalog,
 )
 from repro.faults.recovery import MicroRebooter, RetryPolicy
-from repro.faults.watchdog import DeviceTimeoutMonitor, GuestProgressWatchdog
+from repro.faults.watchdog import (
+    DeviceTimeoutMonitor,
+    GuestProgressWatchdog,
+    IRQLineWatchdog,
+)
 
 __all__ = [
     "FaultSpec",
@@ -31,8 +36,10 @@ __all__ = [
     "FaultInjector",
     "known_sites",
     "register_site",
+    "site_catalog",
     "GuestProgressWatchdog",
     "DeviceTimeoutMonitor",
+    "IRQLineWatchdog",
     "MicroRebooter",
     "RetryPolicy",
 ]

@@ -43,6 +43,16 @@ Known sites (unplanned-but-registered sites never fire):
 ``overcommit.balloon_refuse``  a guest balloon driver refuses the inflate
                           request this tick; the controller retries next
                           tick and leans on swap in the meantime
+``irq.lost``              a PIC line raise is dropped on the wire: no
+                          pending bit latches, the CPU never sees it
+``irq.spurious``          the PIC asserts a device cause with no pending
+                          line behind it; the handler's status read comes
+                          back empty
+``irq.storm``             a fired schedule event re-queues itself at the
+                          next few consecutive retire edges (interrupt
+                          storm on that line)
+``irq.delayed``           a due schedule event is pushed back a drawn
+                          number of retire edges before firing
 ========================  ====================================================
 """
 
@@ -73,6 +83,10 @@ _KNOWN_SITES: Dict[str, str] = {
     "vcpu.stall": "vCPU stops retiring instructions",
     "overcommit.scan_stall": "page-sharing scan stalls this tick",
     "overcommit.balloon_refuse": "guest balloon driver refuses an inflate",
+    "irq.lost": "PIC line raise dropped: no pending bit, CPU never sees it",
+    "irq.spurious": "PIC asserts a device cause with no pending line behind it",
+    "irq.storm": "schedule event re-queues at the next consecutive retire edges",
+    "irq.delayed": "due schedule event pushed back a drawn number of edges",
 }
 
 
@@ -97,6 +111,15 @@ def register_site(site: str, description: str = "") -> None:
 def known_sites() -> Tuple[str, ...]:
     """All registered site names, sorted."""
     return tuple(sorted(_KNOWN_SITES))
+
+
+def site_catalog() -> Tuple[Tuple[str, str], ...]:
+    """Every registered site as ``(name, description)``, sorted by name.
+
+    The ``repro faults --list`` CLI renders this so fault schedules can
+    be authored without grepping the tree for register_site calls.
+    """
+    return tuple(sorted(_KNOWN_SITES.items()))
 
 
 def _site_salt(site: str) -> int:

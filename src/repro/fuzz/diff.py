@@ -20,6 +20,14 @@ Two comparison groups run the same guest image:
   clean halts: at an instruction limit BT overshoots to a block
   boundary.
 
+Each case also carries a seeded :class:`~repro.devices.schedule.
+EventSchedule` (``opts["events"]``, on by default): timer, virtio and
+console interrupts fire at fixed retire counts, so asynchronous
+delivery itself is differentially tested -- a pending, unmasked IRQ
+latched at retire edge N must be delivered before the fetch of
+instruction N+1 in *every* engine, and with a nonzero fault rate the
+``irq.*`` sites perturb that schedule identically across backends.
+
 Outcomes are normalized to classes first; a cycle-guard trip is a
 ``hang`` (always a failure: some backend stopped making progress), and
 aborts (guest triple faults, runaway accesses past RAM) must at least
@@ -36,6 +44,8 @@ from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
 from repro.cpu.interp import CPUCore, StopReason
 from repro.cpu.isa import CSR, DecodeError
 from repro.cpu.mmu import BareMMU
+from repro.devices.irq import InterruptController
+from repro.devices.schedule import EventSchedule
 from repro.faults import FaultInjector, FaultPlan, FaultSpec
 from repro.fuzz import gen
 from repro.mem.costs import CostModel
@@ -44,6 +54,12 @@ from repro.mem.physmem import PhysicalMemory
 from repro.util.errors import ReproError
 
 DEFAULT_MAX_INSTRUCTIONS = 600
+
+#: IRQ-path fault sites armed (with the virtio site) when a case runs
+#: with a nonzero fault rate. All are keyed to architected points --
+#: line raises and retire-count edges -- so the same plan replays
+#: identically in every backend.
+IRQ_FAULT_SITES = ("irq.lost", "irq.spurious", "irq.storm", "irq.delayed")
 
 #: CSRs that form the guest-visible control state (counters excluded).
 GUEST_CSRS = (CSR.MODE, CSR.PTBR, CSR.VBAR, CSR.IE, CSR.EPC, CSR.ECAUSE,
@@ -75,11 +91,22 @@ def _mask_pt_span(mem: bytes) -> bytes:
     return mem[:lo] + b"\x00" * (hi - lo) + mem[hi:]
 
 
+def _irq_injector(fault_rate: float, fault_seed: int) -> Optional[FaultInjector]:
+    if fault_rate <= 0.0:
+        return None
+    return FaultInjector(FaultPlan(
+        seed=fault_seed,
+        specs=[FaultSpec(site, rate=fault_rate) for site in IRQ_FAULT_SITES],
+    ))
+
+
 # -- bare group -------------------------------------------------------------
 
 
 def run_bare(segments: Dict[int, bytes], jit: bool,
-             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS) -> Dict:
+             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
+             event_seed: Optional[int] = None,
+             fault_rate: float = 0.0, fault_seed: int = 0) -> Dict:
     costs = CostModel()
     pm = PhysicalMemory(gen.MEM_BYTES)
     for addr in sorted(segments):
@@ -87,6 +114,17 @@ def run_bare(segments: Dict[int, bytes], jit: bool,
     mmu = BareMMU(pm, costs, tlb_entries=64)
     cpu = CPUCore(mmu, costs, port_bus=None, jit=jit)
     cpu.reset(gen.PRE_BASE)
+    if event_seed is not None:
+        # A bare machine still has a PIC in front of the core: the
+        # schedule raises lines on it and the sink latches causes. No
+        # port bus, so lines stay pending -- irrelevant to comparison,
+        # which sees only the latched causes.
+        injector = _irq_injector(fault_rate, fault_seed)
+        pic = InterruptController(sink=cpu, injector=injector)
+        cpu.events = EventSchedule.seeded(
+            event_seed, horizon=max_instructions, controller=pic,
+            injector=injector,
+        )
 
     outcome, abort = None, None
     try:
@@ -109,6 +147,7 @@ def run_bare(segments: Dict[int, bytes], jit: bool,
         "halted": cpu.halted,
         "regs": list(cpu.regs),
         "csr": list(cpu.csr),
+        "pending": sorted(c.name for c in cpu.pending_irqs),
         "cycles": cpu.cycles,
         "instret": cpu.instret,
         "tlb": {
@@ -124,8 +163,8 @@ def run_bare(segments: Dict[int, bytes], jit: bool,
 
 
 #: fields compared exactly between the interpreter and the JIT.
-_BARE_FIELDS = ("pc", "halted", "regs", "csr", "cycles", "instret",
-                "tlb", "walker", "mem")
+_BARE_FIELDS = ("pc", "halted", "regs", "csr", "pending", "cycles",
+                "instret", "tlb", "walker", "mem")
 
 
 def compare_bare(a: Dict, b: Dict) -> List[str]:
@@ -143,7 +182,8 @@ def compare_bare(a: Dict, b: Dict) -> List[str]:
 
 def run_vmm(segments: Dict[int, bytes], config_name: str,
             max_instructions: int = DEFAULT_MAX_INSTRUCTIONS,
-            fault_rate: float = 0.0, fault_seed: int = 0) -> Dict:
+            fault_rate: float = 0.0, fault_seed: int = 0,
+            event_seed: Optional[int] = None) -> Dict:
     virt_mode, mmu_mode = next(
         (v, m) for n, v, m in VMM_CONFIGS if n == config_name
     )
@@ -155,18 +195,33 @@ def run_vmm(segments: Dict[int, bytes], config_name: str,
         with_virtio=True, with_emulated_io=False,
     ))
     if fault_rate > 0.0:
-        # One shared, guest-driven site: virtio kicks are architecturally
-        # synchronous, so the same plan fires identically in every config.
-        vm.devices["virtio_blk"].injector = FaultInjector(FaultPlan(
+        # All sites key to architected points (virtio kicks are
+        # synchronous, IRQ faults draw per line raise / retire edge),
+        # so the same plan fires identically in every config.
+        injector = FaultInjector(FaultPlan(
             seed=fault_seed,
-            specs=[FaultSpec("virtio.ring_stuck", rate=fault_rate)],
+            specs=[FaultSpec("virtio.ring_stuck", rate=fault_rate)]
+            + [FaultSpec(site, rate=fault_rate) for site in IRQ_FAULT_SITES],
         ))
+        vm.devices["virtio_blk"].injector = injector
+        vm.pic.injector = injector
+    else:
+        injector = None
     for addr in sorted(segments):
         vm.guest_mem.write_bytes(addr, segments[addr])
     hv.reset_vcpu(vm, gen.PRE_BASE)
 
     vcpu = vm.vcpus[0]
     cpu = vcpu.cpu
+    if event_seed is not None:
+        # Hardware-assist delivers natively from cpu.pending_irqs; the
+        # other modes must bounce to the pump so the monitor can inject
+        # the virtual interrupt at the exact retire edge.
+        cpu.events = EventSchedule.seeded(
+            event_seed, horizon=max_instructions, controller=vm.pic,
+            console=vm.devices["console"], injector=injector,
+            exit_on_fire=virt_mode is not VirtMode.HW_ASSIST,
+        )
     hw = virt_mode is VirtMode.HW_ASSIST
     outcome, abort = None, None
     try:
@@ -256,7 +311,7 @@ def compare_vmm(results: List[Dict]) -> Tuple[Optional[str], List[str],
 
 def default_opts() -> Dict:
     return {"max_instructions": DEFAULT_MAX_INSTRUCTIONS,
-            "fault_rate": 0.0, "bug": None}
+            "fault_rate": 0.0, "bug": None, "events": True}
 
 
 def run_case_spec(spec: gen.CaseSpec, opts: Optional[Dict] = None) -> Dict:
@@ -264,16 +319,24 @@ def run_case_spec(spec: gen.CaseSpec, opts: Optional[Dict] = None) -> Dict:
     opts = {**default_opts(), **(opts or {})}
     segments = gen.build_image(spec)
     max_instructions = opts["max_instructions"]
+    fault_seed = spec.root_seed ^ (spec.case_index * 2654435761)
+    # A distinct stream from the fault plan: the schedule's shape must
+    # not correlate with which faults fire on it.
+    event_seed = (fault_seed ^ 0x9E3779B9) if opts["events"] else None
 
     from repro.fuzz.bugs import apply_bug
 
     with apply_bug(opts.get("bug")):
-        interp = run_bare(segments, jit=False, max_instructions=max_instructions)
-        jit = run_bare(segments, jit=True, max_instructions=max_instructions)
+        interp = run_bare(segments, jit=False, max_instructions=max_instructions,
+                          event_seed=event_seed,
+                          fault_rate=opts["fault_rate"], fault_seed=fault_seed)
+        jit = run_bare(segments, jit=True, max_instructions=max_instructions,
+                       event_seed=event_seed,
+                       fault_rate=opts["fault_rate"], fault_seed=fault_seed)
         vmm = [
             run_vmm(segments, name, max_instructions=max_instructions,
-                    fault_rate=opts["fault_rate"],
-                    fault_seed=spec.root_seed ^ (spec.case_index * 2654435761))
+                    fault_rate=opts["fault_rate"], fault_seed=fault_seed,
+                    event_seed=event_seed)
             for name, _v, _m in VMM_CONFIGS
         ]
 

@@ -16,19 +16,24 @@ fixed parts plus a variable body:
   emitted by one weighted template (ALU churn, loads, wild stores,
   branches, self-modifying code, trap-vector corruption, page-table
   root switches, TLB shootdowns, mode switches into a user stub,
-  virtio kicks, inline-cache stress loops, ...), NOP-padded, ending in
-  a ``syscall 0x7FF`` tail.
+  virtio kicks, inline-cache stress loops, interrupt-enabled
+  preemption loops, ...), NOP-padded, ending in a ``syscall 0x7FF``
+  tail.
 
 Determinism contract: the layout (paging on/off, register seeds, alias
 mappings, restricted-root flags) derives from ``fork(case_seed, 1)``
 and the cells from ``fork(case_seed, 2)``, so a shrinker can delete or
 simplify *cells* while the rest of the image stays byte-identical.
 
-The generator deliberately never enables interrupts (no STI, ESTATUS
-writes are masked to keep the IE bit clear, the timer is never armed):
-interrupt *latching* is still exercised (virtio kicks raise IRQs that
-stay pending and are compared), but asynchronous delivery would make
-the comparison point engine-dependent.
+Interrupts are fair game: bodies enable IE with ``STI``, restore it
+through ``IRET`` (ESTATUS writes are *not* masked), and run preemptable
+loops while the harness's seeded
+:class:`~repro.devices.schedule.EventSchedule` fires timer/virtio/
+console interrupts at fixed retire counts. Asynchronous delivery is
+still deterministic -- an event due at retire edge N lands before the
+fetch of instruction N+1 in every engine -- so the comparison point
+stays engine-independent. The vector stub irets in place for IRQ
+causes, which also restores the interrupted IE state.
 """
 
 from dataclasses import dataclass, field
@@ -628,8 +633,6 @@ class _BodyGen:
         csr = self.rng.choice([CSR.SCRATCH, CSR.SCRATCH, CSR.EPC, CSR.EVAL,
                                CSR.ECAUSE, CSR.ESTATUS])
         value = self.rng.next_u64() & 0xFFFFFFFF
-        if csr is CSR.ESTATUS:
-            value &= ~2  # never let IRET set IE
         if csr is CSR.EPC:
             # keep EPC pointing at harmless ground if something irets
             value = self.rng.choice([DATA_BASE + (value & 0x3FFC),
@@ -680,6 +683,46 @@ class _BodyGen:
     def t_hlt(self):
         return encode(Op.HLT)
 
+    # interrupt-enabled templates: these run with IE set so the seeded
+    # event schedule actually *delivers* -- preemption points, handler
+    # round-trips and IE restore paths all become differential surface.
+
+    def t_sti_cli(self):
+        """IE churn: delivery windows open and close between cells."""
+        parts = []
+        for _ in range(self.rng.randint(2, 6)):
+            parts.append(encode(self.rng.choice([Op.STI, Op.STI, Op.CLI])))
+        return b"".join(parts)
+
+    def t_irq_loop(self, index: int):
+        """Timer-preemption loop: STI, then a counted self-loop.
+
+        The JIT compiles cell L as a self-looping closure; a schedule
+        event due mid-loop must still land at its exact retire edge
+        (the closure's loop-edge ``_loop_stop`` check is the poll), and
+        the handler's IRET drops straight back into the loop body.
+        """
+        trips = self.rng.randint(8, 24)
+        loop_va = _cell_addr(index + 1)
+        setup = (encode(Op.MOVI, rd=13, imm32=trips)
+                 + encode(Op.STI))
+        body = (encode(Op.ADD, rd=12, ra=12, imm32=1)
+                + encode(Op.SUB, rd=13, ra=13, imm32=1)
+                + encode(Op.BNE, ra=13, rb=0, imm32=loop_va))
+        return [_pad_cell(setup), _pad_cell(body)]
+
+    def t_iret_ie(self, index: int):
+        """IRET that *sets* IE: ESTATUS=2 (kernel, IE), EPC=next cell."""
+        return (encode(Op.MOVI, rd=14, imm32=2)
+                + encode(Op.CSRW, ra=14, simm12=int(CSR.ESTATUS))
+                + encode(Op.MOVI, rd=14, imm32=_cell_addr(index + 1))
+                + encode(Op.CSRW, ra=14, simm12=int(CSR.EPC))
+                + encode(Op.IRET))
+
+    def t_kick_storm(self):
+        """Virtio kick with IE open: the completion IRQ delivers."""
+        return encode(Op.STI) + self.t_kick()
+
 
 #: (name, weight, needs_paging) -- weights tuned so a typical case mixes
 #: heavy ALU/memory churn with a steady drip of control-plane chaos.
@@ -709,6 +752,10 @@ _TEMPLATES = [
     ("console", 2, False),
     ("in", 1, False),
     ("hlt", 1, False),
+    ("sti_cli", 4, False),
+    ("irq_loop", 5, False),
+    ("iret_ie", 3, False),
+    ("kick_storm", 3, False),
 ]
 
 
@@ -760,8 +807,18 @@ def generate_case(root_seed: int, case_index: int) -> CaseSpec:
                 gen.counts[name] = gen.counts.get(name, 0) + 1
                 cells.extend(gen.t_ic_loop(index))
                 continue
+        elif name == "irq_loop":
+            if ncells - index < 2:
+                name = "alu"
+                code = gen.t_alu()
+            else:
+                gen.counts[name] = gen.counts.get(name, 0) + 1
+                cells.extend(gen.t_irq_loop(index))
+                continue
         elif name == "smc":
             code = gen.t_smc(index)
+        elif name == "iret_ie":
+            code = gen.t_iret_ie(index)
         else:
             code = getattr(gen, "t_" + name)()
         gen.counts[name] = gen.counts.get(name, 0) + 1

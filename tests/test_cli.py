@@ -106,3 +106,27 @@ def test_shardbench_writes_payload(tmp_path, capsys):
     baseline.write_text(out.read_text())
     assert main(["shardbench", "--quick", "--out", str(out),
                  "--baseline", str(baseline)]) == 0
+
+
+def test_fuzz_events_on_by_default_and_no_events_flag(capsys):
+    assert main(["fuzz", "--seed", "1", "--cases", "2", "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["extra"]["fuzz"]["opts"]["events"] is True
+    assert main(["fuzz", "--seed", "1", "--cases", "2", "--no-events",
+                 "--json"]) == 0
+    manifest = json.loads(capsys.readouterr().out)
+    assert manifest["extra"]["fuzz"]["opts"]["events"] is False
+
+
+def test_faults_list_enumerates_registered_sites(capsys):
+    assert main(["faults", "--list"]) == 0
+    out = capsys.readouterr().out
+    for site in ("irq.lost", "irq.spurious", "irq.storm", "irq.delayed",
+                 "virtio.ring_stuck", "host.crash"):
+        assert site in out
+    assert "[irq]" in out and "[virtio]" in out
+    assert "registered fault sites" in out
+
+
+def test_faults_without_list_errors(capsys):
+    assert main(["faults"]) == 2

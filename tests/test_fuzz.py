@@ -23,7 +23,10 @@ CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
 
 #: A case that diverges under the reintroduced PR-5 trap-vector bug
 #: (found by campaign, pinned here so the shrinker tests are fast).
-PR5_SEED, PR5_CASE = 3, 10
+#: Re-pinned when seeded event schedules went default-on: the old pin
+#: (3, 10) stopped reproducing once interrupt delivery reshaped the
+#: run, and this one shrinks to a single cell.
+PR5_SEED, PR5_CASE = 13, 13
 
 
 # -- generator determinism --------------------------------------------------
@@ -52,6 +55,75 @@ class TestGeneratorDeterminism:
             spec = gen.generate_case(44, index)
             for addr, data in gen.build_image(spec).items():
                 assert addr + len(data) <= gen.MEM_BYTES
+
+
+# -- interrupt-enabled generation -------------------------------------------
+
+
+class TestInterruptTemplates:
+    def test_generator_emits_interrupt_templates(self):
+        counts = {}
+        for case in range(20):
+            for k, v in gen.generate_case(61, case).template_counts.items():
+                counts[k] = counts.get(k, 0) + v
+        for name in ("sti_cli", "irq_loop", "iret_ie", "kick_storm"):
+            assert counts.get(name, 0) >= 1, f"{name} never generated"
+
+    def test_estatus_writes_are_not_masked(self):
+        # The old generator forced IE clear in every CSRW-to-ESTATUS;
+        # with delivery deterministic the bit must survive. Scan enough
+        # csrw cells to see at least one ESTATUS write with bit1 set.
+        from repro.cpu.isa import CSR, Op, decode
+
+        saw_ie = False
+        for case in range(120):
+            spec = gen.generate_case(83, case)
+            for cell in spec.cells:
+                words = [int.from_bytes(cell[i:i + 4], "little")
+                         for i in range(0, len(cell), 4)]
+                for j in range(len(words) - 2):
+                    try:
+                        movi = decode(words[j], words[j + 1])
+                        csrw = decode(words[j + 2],
+                                      words[j + 3] if j + 3 < len(words) else 0)
+                    except Exception:
+                        continue
+                    if (movi.op is Op.MOVI and csrw.op is Op.CSRW
+                            and (csrw.simm12 & 0xFFF) == int(CSR.ESTATUS)
+                            and movi.imm32 & 2):
+                        saw_ie = True
+            if saw_ie:
+                break
+        assert saw_ie
+
+    @pytest.mark.parametrize("case", [56, 135, 241])
+    def test_seed1_interrupt_cases_stay_clean(self, case):
+        # The first unmasked-IE campaign flagged these: case 56 wedged
+        # hardware-assist on a HLT intercepted exactly at a due retire
+        # edge (the pump loop never fired the event that should wake
+        # it), and 135/241 ran stale BT items after an intra-block
+        # self-modifying store (the bare JIT had the epoch bail, the
+        # translator did not). Both fixed; keep them clean.
+        opts = default_opts()
+        opts["fault_rate"] = 0.05
+        result = run_case(1, case, opts)
+        assert result["verdict"]["kind"] == "ok", result["verdict"]
+
+    def test_events_off_and_on_reach_different_states(self):
+        # The schedule must actually change execution somewhere in a
+        # small sweep -- otherwise delivery is silently disabled.
+        from repro.fuzz.diff import run_bare
+
+        differed = False
+        for i in range(6):
+            segments = gen.build_image(gen.generate_case(61, i))
+            plain = run_bare(segments, jit=False)
+            scheduled = run_bare(segments, jit=False, event_seed=i + 1)
+            if (plain["instret"], plain["regs"], plain["mem"]) != (
+                    scheduled["instret"], scheduled["regs"], scheduled["mem"]):
+                differed = True
+                break
+        assert differed
 
 
 # -- campaign ---------------------------------------------------------------
