@@ -1,0 +1,40 @@
+"""E11: software vs hardware MMU crossover along the PT-mod-rate axis."""
+
+import json
+
+from repro.bench import run_e11
+
+
+def test_e11_crossover(benchmark, show):
+    result = benchmark.pedantic(run_e11, iterations=1, rounds=1)
+    show(result)
+    points = result.raw["points"]
+
+    # The finding: shadow paging wins the low-churn end, H-mode
+    # two-stage paging wins the high-churn end, with one crossover
+    # point in between (no flip-flopping along the sweep).
+    assert points[0]["winner"] == "shadow"
+    assert points[-1]["winner"] == "hmode"
+    winners = [p["winner"] for p in points]
+    flip = winners.index("hmode")
+    assert all(w == "shadow" for w in winners[:flip])
+    assert all(w == "hmode" for w in winners[flip:])
+    assert result.raw["crossover_maps"] == points[flip]["maps"]
+    assert result.raw["crossover_rate"] == points[flip]["pt_mod_rate"]
+
+    # Why each side wins: H-mode runs PT churn exit-free, so its exit
+    # count is flat across the sweep while shadow's grows with churn.
+    assert points[-1]["hmode_exits"] == points[0]["hmode_exits"]
+    assert points[-1]["shadow_exits"] > 2 * points[0]["shadow_exits"]
+
+    # The H-mode advantage at the churn-heavy end is substantial.
+    assert points[-1]["shadow_cycles"] > 1.3 * points[-1]["hmode_cycles"]
+    # ...and shadow's cheap one-stage fills win the miss-heavy end.
+    assert points[0]["hmode_cycles"] > 1.2 * points[0]["shadow_cycles"]
+
+    # Byte-reproducible: a second run serializes identically, and the
+    # manifest embeds the sweep so the CI artifact is self-describing.
+    again = run_e11()
+    assert (json.dumps(result.manifest(), sort_keys=True)
+            == json.dumps(again.manifest(), sort_keys=True))
+    assert result.manifest()["extra"]["e11"]["points"] == points

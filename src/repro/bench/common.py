@@ -50,6 +50,7 @@ MODE_MATRIX = [
     ("paravirt", VirtMode.PARAVIRT, MMUVirtMode.SHADOW, True),
     ("hw+shadow", VirtMode.HW_ASSIST, MMUVirtMode.SHADOW, False),
     ("hw+nested", VirtMode.HW_ASSIST, MMUVirtMode.NESTED, False),
+    ("hw+hmode", VirtMode.HW_ASSIST, MMUVirtMode.HMODE, False),
 ]
 
 

@@ -32,6 +32,7 @@ from repro.bench import (
     run_e9_exit_cost,
     run_e10,
     run_e10_cascade,
+    run_e11,
 )
 
 EXPERIMENTS: Dict[str, Callable] = {
@@ -52,6 +53,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "e9b": run_e9_bt,
     "e10": run_e10,
     "e10c": run_e10_cascade,
+    "e11": run_e11,
 }
 
 #: Experiments accepting a ``quick`` kwarg (smaller, CI-friendly run).
@@ -72,6 +74,7 @@ MODES = {
     "paravirt": ("paravirt", "shadow", True),
     "hw-shadow": ("hw_assist", "shadow", False),
     "hw-nested": ("hw_assist", "nested", False),
+    "hw-hmode": ("hw_assist", "hmode", False),
 }
 
 WORKLOADS = [
@@ -316,7 +319,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     run_p = sub.add_parser("run", help="regenerate experiment tables")
     run_p.add_argument("experiment",
-                       help="e1..e10, e6f/e7f/e7c (functional), or 'all'")
+                       help="e1..e11, e6f/e7f/e7c (functional), or 'all'")
     run_p.add_argument("--quick", action="store_true",
                        help="smaller, CI-friendly variant where supported")
     run_p.add_argument("--json", action="store_true",

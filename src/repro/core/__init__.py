@@ -25,6 +25,10 @@ Memory virtualization:
   tables (or by PV hypercalls).
 * ``NESTED`` -- two-dimensional walks through guest tables and an
   EPT-style second level, with the classic walk-amplification cost.
+* ``HMODE`` -- the H-mode extension: an architected hardware guest mode
+  with HEDELEG/HIDELEG trap delegation and a hardware-walked two-stage
+  translation path (:class:`repro.cpu.mmu.HModeMMU`). Combine with
+  ``HW_ASSIST`` for the sixth engine configuration.
 """
 
 from repro.core.modes import VirtMode, MMUVirtMode
@@ -33,7 +37,15 @@ from repro.core.vm import GuestConfig, GuestMemory, VirtualMachine
 from repro.core.vcpu import VCPU
 from repro.core.shadow import ShadowMMU
 from repro.core.nested import NestedMMU
+from repro.core.policies import HModePolicy
 from repro.core.hypervisor import Hypervisor, HypercallNumbers
+from repro.core.nestedvirt import (
+    AliasedPhysicalMemory,
+    NestedHost,
+    build_nested_host,
+    create_l2_vm,
+    guest_ram_window,
+)
 from repro.core.machine import Machine
 from repro.core.snapshot import VMSnapshot, restore_vm, snapshot_vm
 from repro.core.schedule import ScheduleReport, VMScheduler
@@ -49,8 +61,14 @@ __all__ = [
     "VCPU",
     "ShadowMMU",
     "NestedMMU",
+    "HModePolicy",
     "Hypervisor",
     "HypercallNumbers",
+    "AliasedPhysicalMemory",
+    "NestedHost",
+    "build_nested_host",
+    "create_l2_vm",
+    "guest_ram_window",
     "Machine",
     "VMSnapshot",
     "snapshot_vm",

@@ -23,13 +23,16 @@ from repro.core.bt import BTEngine
 from repro.core.emulate import emulate_guest_store, emulate_privileged
 from repro.core.modes import MMUVirtMode, VirtMode
 from repro.core.nested import NestedMMU
-from repro.core.policies import DeprivilegedPolicy, HWAssistPolicy
+from repro.core.policies import DeprivilegedPolicy, HModePolicy, HWAssistPolicy
 from repro.core.shadow import ShadowMMU
 from repro.core.vcpu import VCPU
 from repro.core.vm import GuestConfig, GuestMemory, VirtualMachine
 from repro.cpu.exits import ExitReason, VMExit
 from repro.cpu.interp import CPUCore, StopReason, TrapInfo
-from repro.cpu.isa import CSR, Cause, MODE_KERNEL, Op
+from repro.cpu.isa import (
+    CSR, Cause, HEDELEG_ALL, HIDELEG_ALL, MODE_KERNEL, Op,
+)
+from repro.cpu.mmu import HModeMMU
 from repro.devices.block import BLOCK_BASE, BlockDevice
 from repro.devices.bus import PortBus
 from repro.devices.console import CONSOLE_BASE, ConsoleDevice
@@ -113,10 +116,15 @@ class Hypervisor:
         costs: Optional[CostModel] = None,
         tlb_entries: int = 64,
         registry: Optional[MetricsRegistry] = None,
+        physmem: Optional[PhysicalMemory] = None,
     ):
         self.costs = costs or CostModel()
         self.costs.validate()
-        self.physmem = PhysicalMemory(memory_bytes)
+        #: ``physmem`` lets a caller supply the backing store -- the
+        #: hypervisor-under-hypervisor scenario aliases an *inner*
+        #: hypervisor's "physical" memory onto a slice of an H-mode
+        #: guest's RAM (memory_bytes is then ignored).
+        self.physmem = physmem if physmem is not None else PhysicalMemory(memory_bytes)
         self.allocator = FrameAllocator(self.physmem, reserved_frames=16)
         self.tlb_entries = tlb_entries
         #: The run's metrics registry; every VM gets a ``vm.<name>``
@@ -287,6 +295,18 @@ class Hypervisor:
                 ring_compression=config.virt_mode is not VirtMode.HW_ASSIST,
                 trap_pt_writes=config.virt_mode is not VirtMode.PARAVIRT,
             )
+        elif config.mmu_mode is MMUVirtMode.HMODE:
+            mmu = HModeMMU(
+                self.physmem,
+                self.allocator,
+                guest_mem,
+                self.costs,
+                tlb_entries=self.tlb_entries,
+            )
+            mmu.stall_fn = self._hmode_stall_cycles
+            if config.prealloc:
+                for gfn, hfn in guest_mem.map.items():
+                    mmu.ept_map(gfn, hfn)
         else:
             mmu = NestedMMU(
                 self.physmem,
@@ -304,9 +324,17 @@ class Hypervisor:
         vm.vcpus.append(vcpu)
 
         if config.virt_mode is VirtMode.HW_ASSIST:
-            cpu.policy = HWAssistPolicy(
-                vcpu, intercept_paging=config.mmu_mode is MMUVirtMode.SHADOW
-            )
+            if config.mmu_mode is MMUVirtMode.HMODE:
+                cpu.policy = HModePolicy(
+                    vcpu, HEDELEG_ALL, HIDELEG_ALL,
+                    deleg_miss_fn=self._hmode_deleg_miss,
+                )
+                self.registry.counter("core.hmode.vms_created").inc()
+            else:
+                cpu.policy = HWAssistPolicy(
+                    vcpu,
+                    intercept_paging=config.mmu_mode is MMUVirtMode.SHADOW,
+                )
         else:
             cpu.policy = DeprivilegedPolicy(vcpu)
             if isinstance(mmu, ShadowMMU):
@@ -603,6 +631,30 @@ class Hypervisor:
             vm.guest_mem.write_u32(shared_gpa + 8, vcpu.vcsr[CSR.EVAL])
             vm.guest_mem.write_u32(shared_gpa + 12, vcpu.vcsr[CSR.EPC])
 
+    # -- H-mode fault hooks -------------------------------------------------
+
+    def _hmode_stall_cycles(self) -> int:
+        """``hmode.gstage_stall`` site: extra cycles on a two-stage walk.
+
+        Models contention on the hardware nested-walk path. Timing-only:
+        guest-visible architectural state is untouched.
+        """
+        if self.injector is not None and self.injector.fires("hmode.gstage_stall"):
+            self.registry.counter("core.hmode.gstage_stalls").inc()
+            return 8 * self.costs.gstage_ref_cycles
+        return 0
+
+    def _hmode_deleg_miss(self) -> bool:
+        """``hmode.delegation_miss`` site: one delegated trap exits anyway.
+
+        The exit handler re-injects the trap, so the guest converges to
+        the same architectural state; only the host pays a world switch.
+        """
+        if self.injector is not None and self.injector.fires("hmode.delegation_miss"):
+            self.registry.counter("core.hmode.delegation_misses").inc()
+            return True
+        return False
+
     # -- exit dispatch -----------------------------------------------------
 
     def _vm_time(self, vm: VirtualMachine) -> int:
@@ -626,7 +678,19 @@ class Hypervisor:
         if reason is ExitReason.GUEST_TRAP:
             info: TrapInfo = exit_.qual("trap")
             ins = exit_.qual("ins")
-            if info.cause is Cause.PRIV and not vcpu.virtual_user:
+            if mode is VirtMode.HW_ASSIST:
+                # H-mode: a non-delegated guest trap (or a delegation
+                # miss injected by the fault site). Inject it exactly as
+                # hardware event injection on VM entry would: the core's
+                # own delivery microcode runs against real guest state,
+                # so the result is bit-identical to native delegation.
+                vcpu.cpu.deliver_trap(info)
+                detail = info.cause.name.lower()
+                if exit_.qual("deleg_miss"):
+                    detail = f"deleg_miss.{detail}"
+                handler_cycles = costs.emulate_cycles
+                self.registry.counter("core.hmode.trap_exits").inc()
+            elif info.cause is Cause.PRIV and not vcpu.virtual_user:
                 # Only the guest *kernel* (deprivileged onto real user
                 # mode) gets its privileged instructions emulated. A
                 # PRIV trap raised while the virtual mode is user is the
@@ -822,7 +886,7 @@ class Hypervisor:
         mmu = vm.vcpus[0].cpu.mmu
         if isinstance(mmu, ShadowMMU):
             mmu.drop_gfn(gfn)
-        elif isinstance(mmu, NestedMMU):
+        elif isinstance(mmu, (NestedMMU, HModeMMU)):
             if mmu.ept.lookup(gfn << PAGE_SHIFT) is not None:
                 mmu.ept_unmap(gfn)
         hfn = vm.guest_mem.unmap_page(gfn)
@@ -841,7 +905,7 @@ class Hypervisor:
         vm.guest_mem.map_page(gfn, hfn)
         vm.ballooned_gfns.discard(gfn)
         mmu = vm.vcpus[0].cpu.mmu
-        if isinstance(mmu, NestedMMU):
+        if isinstance(mmu, (NestedMMU, HModeMMU)):
             mmu.ept_map(gfn, hfn)
         self.registry.counter("overcommit.balloon.deflations").inc()
         self.registry.counter("overcommit.operations").inc()

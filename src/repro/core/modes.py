@@ -18,3 +18,6 @@ class MMUVirtMode(enum.Enum):
 
     SHADOW = "shadow"
     NESTED = "nested"
+    #: Architected H-mode two-stage translation (hardware guest mode
+    #: with delegated traps and a hardware-walked G-stage).
+    HMODE = "hmode"

@@ -43,14 +43,16 @@ class GuestConfig:
             raise ConfigError("NATIVE mode runs on a Machine, not in a VM")
         if (
             self.virt_mode is not VirtMode.HW_ASSIST
-            and self.mmu_mode is MMUVirtMode.NESTED
+            and self.mmu_mode is not MMUVirtMode.SHADOW
         ):
             raise ConfigError(
                 f"{self.virt_mode.value} requires shadow paging "
-                "(nested paging needs hardware assistance)"
+                f"({self.mmu_mode.value} paging needs hardware assistance)"
             )
-        if not self.prealloc and self.mmu_mode is not MMUVirtMode.NESTED:
-            raise ConfigError("demand paging of guest RAM requires nested mode")
+        if not self.prealloc and self.mmu_mode is MMUVirtMode.SHADOW:
+            raise ConfigError(
+                "demand paging of guest RAM requires nested or hmode"
+            )
 
 
 class GuestMemory:

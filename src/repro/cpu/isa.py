@@ -88,6 +88,8 @@ class CSR(enum.IntEnum):
     INSTRET = 9  # retired-instruction counter (read-only)
     ESTATUS = 10  # saved (mode | IE<<1) at trap entry; consumed by IRET
     CPUID = 11  # core identifier (read-only)
+    HEDELEG = 12  # H-mode: exception-cause delegation bitmap (bit = Cause)
+    HIDELEG = 13  # H-mode: interrupt-cause delegation bitmap (bit = Cause)
 
 
 #: CSRs readable from user mode *without trapping*. MODE and IE are the
@@ -121,6 +123,27 @@ class Cause(enum.IntEnum):
     IRQ_DEVICE = 8
     DIV0 = 9
     BREAK = 10
+
+
+#: HEDELEG with every synchronous exception cause delegated to the guest
+#: (hardware-assisted guests handle their own faults without a VM exit).
+#: IRQ causes live in HIDELEG, so they are excluded here.
+HEDELEG_ALL = (
+    (1 << Cause.SYSCALL)
+    | (1 << Cause.PF_READ)
+    | (1 << Cause.PF_WRITE)
+    | (1 << Cause.PF_EXEC)
+    | (1 << Cause.PRIV)
+    | (1 << Cause.ILLEGAL)
+    | (1 << Cause.DIV0)
+    | (1 << Cause.BREAK)
+)
+
+#: HIDELEG with both interrupt causes delegated to the guest.
+HIDELEG_ALL = (1 << Cause.IRQ_TIMER) | (1 << Cause.IRQ_DEVICE)
+
+#: Causes controlled by HIDELEG (everything else consults HEDELEG).
+IRQ_CAUSES = frozenset({Cause.IRQ_TIMER, Cause.IRQ_DEVICE})
 
 
 class Reg(enum.IntEnum):

@@ -14,18 +14,24 @@ address translation:
 raise :class:`repro.cpu.exits.VMExit` for faults the VMM must service.
 """
 
-from typing import Tuple
+from typing import Callable, Optional, Set, Tuple
 
+from repro.cpu.exits import ExitReason, VMExit
 from repro.mem.costs import CostModel
 from repro.mem.paging import (
     AccessType,
+    AddressSpace,
+    GStageFault,
+    PTE_ACCESSED,
     PTE_DIRTY,
     PTE_NOEXEC,
+    PTE_PRESENT,
     PTE_USER,
     PTE_WRITABLE,
     PageTableWalker,
+    TwoStageWalker,
 )
-from repro.mem.physmem import PhysicalMemory
+from repro.mem.physmem import FrameAllocator, PhysicalMemory
 from repro.mem.tlb import TLB
 from repro.util.units import PAGE_SHIFT
 
@@ -111,3 +117,163 @@ class BareMMU(MMUBase):
 
     def flush(self) -> None:
         self.tlb.flush()
+
+
+class HModeMMU(MMUBase):
+    """Hardware two-stage translation for H-mode guests.
+
+    The architected "hardware" MMU of the H-mode extension: guest VA ->
+    guest PA through the guest's own tables, guest PA -> host PA through
+    a host-owned G-stage table, both walked by the
+    :class:`~repro.mem.paging.TwoStageWalker` with combined translations
+    cached in one TLB. The guest keeps PTBR/INVLPG native (no MMU
+    exits); the host programs the G-stage exactly like an EPT, so this
+    class deliberately duck-types :class:`~repro.core.nested.NestedMMU`'s
+    host-control surface (``ept``/``ept_map``/``ept_unmap``/
+    ``write_protect_gfn``/``unprotect_gfn``) and raises the same
+    ``ept_violation``/``dirty_log`` exits -- demand paging, ballooning,
+    dirty logging and post-copy compose unchanged. It lives in the CPU
+    package because H-mode makes two-stage translation part of the
+    architecture, not a VMM construction.
+    """
+
+    def __init__(
+        self,
+        host_physmem: PhysicalMemory,
+        host_allocator: FrameAllocator,
+        guest_mem,
+        costs: CostModel,
+        tlb_entries: int = 64,
+    ):
+        self.physmem = host_physmem
+        self.costs = costs
+        self.guest_mem = guest_mem
+        self.tlb = TLB(tlb_entries)
+        #: The G-stage table (gPA -> hPA), host-owned.
+        self.gstage = AddressSpace(host_physmem, host_allocator)
+        self.walker = TwoStageWalker(host_physmem)
+        self.guest_root: Optional[int] = None
+        #: gfns whose G-stage entry is write-protected for dirty logging.
+        self.write_protected_gfns: Set[int] = set()
+        #: Optional fault-injection hook (``hmode.gstage_stall``):
+        #: called once per two-stage TLB miss, returns extra cycles.
+        self.stall_fn: Optional[Callable[[], int]] = None
+
+        self.two_stage_walks = 0
+        self.walk_mem_refs = 0  # guest page-table entry reads
+        self.gstage_mem_refs = 0  # G-stage page-table entry reads
+
+    # -- G-stage management (host side, NestedMMU-compatible) ----------------
+
+    @property
+    def ept(self) -> AddressSpace:
+        """The G-stage table under its EPT-compatible name."""
+        return self.gstage
+
+    def ept_map(self, gfn: int, hfn: int, writable: bool = True) -> None:
+        flags = PTE_PRESENT | PTE_USER | (PTE_WRITABLE if writable else 0)
+        self.gstage.map(gfn << PAGE_SHIFT, hfn << PAGE_SHIFT, flags)
+
+    def ept_unmap(self, gfn: int) -> None:
+        self.gstage.unmap(gfn << PAGE_SHIFT)
+        self.tlb.flush()  # conservatively drop combined translations
+
+    def write_protect_gfn(self, gfn: int) -> None:
+        pte = self.gstage.lookup(gfn << PAGE_SHIFT)
+        if pte is None:
+            return
+        self.write_protected_gfns.add(gfn)
+        self.gstage.protect(gfn << PAGE_SHIFT, (pte & 0xFFF) & ~PTE_WRITABLE)
+        self.tlb.flush()
+
+    def unprotect_gfn(self, gfn: int) -> None:
+        self.write_protected_gfns.discard(gfn)
+        pte = self.gstage.lookup(gfn << PAGE_SHIFT)
+        if pte is not None:
+            self.gstage.protect(gfn << PAGE_SHIFT, (pte & 0xFFF) | PTE_WRITABLE)
+
+    # -- MMUBase interface ----------------------------------------------------
+
+    def translate(self, va: int, access: AccessType, user: bool) -> Tuple[int, int]:
+        va &= 0xFFFFFFFF
+        vpn = va >> PAGE_SHIFT
+        pte = self.tlb.lookup(vpn, access, user)
+        if pte is not None:
+            return (
+                (pte >> PAGE_SHIFT << PAGE_SHIFT) | (va & 0xFFF),
+                self.costs.tlb_hit_cycles,
+            )
+        self.two_stage_walks += 1
+        stall = self.stall_fn() if self.stall_fn is not None else 0
+        costs = self.costs
+        if self.guest_root is None:
+            # Guest paging off: VA is a gPA; one G-stage walk.
+            try:
+                hpa, refs = self.walker.gstage_walk(
+                    self.gstage.root_pa, va, access
+                )
+            except GStageFault as fault:
+                raise self._gstage_exit(fault) from None
+            flags = PTE_PRESENT | PTE_USER | PTE_ACCESSED
+            if access is AccessType.WRITE:
+                flags |= PTE_WRITABLE | PTE_DIRTY
+            self.tlb.insert(vpn, ((hpa >> PAGE_SHIFT) << PAGE_SHIFT) | flags)
+            self.gstage_mem_refs += refs
+            return hpa, (
+                costs.tlb_hit_cycles + refs * costs.gstage_ref_cycles + stall
+            )
+
+        try:
+            res = self.walker.walk(
+                self.gstage.root_pa, self.guest_root, va, access, user
+            )
+        except GStageFault as fault:
+            raise self._gstage_exit(fault) from None
+        flags = PTE_PRESENT | PTE_ACCESSED
+        flags |= res.combined & PTE_USER
+        flags |= res.pte & PTE_NOEXEC
+        if access is AccessType.WRITE:
+            # Lazy-W: cache write permission only once D is set, so the
+            # next write after a dirty-log round re-walks.
+            flags |= PTE_WRITABLE | PTE_DIRTY
+        self.tlb.insert(
+            vpn, ((res.hpaddr >> PAGE_SHIFT) << PAGE_SHIFT) | flags
+        )
+        self.walk_mem_refs += res.guest_refs
+        self.gstage_mem_refs += res.gstage_refs
+        return res.hpaddr, (
+            costs.tlb_hit_cycles
+            + res.guest_refs * costs.mem_ref_cycles
+            + res.gstage_refs * costs.gstage_ref_cycles
+            + stall
+        )
+
+    def set_root(self, root_pa: int) -> None:
+        """Guest PTBR write: entirely guest-local under two-stage paging."""
+        self.guest_root = root_pa & ~0xFFF
+        self.tlb.flush()
+
+    def invlpg(self, va: int) -> None:
+        self.tlb.invalidate((va & 0xFFFFFFFF) >> PAGE_SHIFT)
+
+    def flush(self) -> None:
+        self.tlb.flush()
+
+    def destroy(self) -> None:
+        self.gstage.destroy()
+        self.tlb.flush()
+
+    # -- internals -------------------------------------------------------------
+
+    def _gstage_exit(self, fault: GStageFault) -> VMExit:
+        """Map a G-stage fault onto the architected exit kinds."""
+        gfn = fault.gpa >> PAGE_SHIFT
+        kind = (
+            "dirty_log"
+            if fault.present and gfn in self.write_protected_gfns
+            else "ept_violation"
+        )
+        return VMExit(
+            ExitReason.PAGE_FAULT, kind=kind,
+            gpa=fault.gpa, gfn=gfn, access=fault.access,
+        )

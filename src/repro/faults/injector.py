@@ -9,8 +9,8 @@ streams forked from one seed, so a fault schedule is a pure function of
 same faults (assert with :meth:`FaultInjector.trace_bytes`).
 
 Site names are validated against a central registry at plan-build time:
-a :class:`FaultSpec` naming an unknown site (a typo like
-``migrate.link_drp``) raises :class:`~repro.util.errors.ConfigError`
+a :class:`FaultSpec` naming an unknown site (say, a misspelling of
+``migrate.link_drop``) raises :class:`~repro.util.errors.ConfigError`
 instead of silently never firing. Subsystems defining new injection
 points declare them with :func:`register_site` at import time.
 
@@ -53,6 +53,11 @@ Known sites (unplanned-but-registered sites never fire):
                           storm on that line)
 ``irq.delayed``           a due schedule event is pushed back a drawn
                           number of retire edges before firing
+``hmode.delegation_miss`` a delegated H-mode trap spuriously exits to the
+                          VMM anyway (microarchitectural delegation miss);
+                          the VMM re-injects, so only host timing changes
+``hmode.gstage_stall``    a hardware two-stage walk stalls: extra cycles
+                          charged on one combined-TLB miss
 ========================  ====================================================
 """
 
@@ -87,6 +92,8 @@ _KNOWN_SITES: Dict[str, str] = {
     "irq.spurious": "PIC asserts a device cause with no pending line behind it",
     "irq.storm": "schedule event re-queues at the next consecutive retire edges",
     "irq.delayed": "due schedule event pushed back a drawn number of edges",
+    "hmode.delegation_miss": "delegated H-mode trap spuriously exits to the VMM",
+    "hmode.gstage_stall": "hardware two-stage walk stalls on a TLB miss",
 }
 
 

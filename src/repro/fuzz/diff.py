@@ -6,19 +6,21 @@ Two comparison groups run the same guest image:
   :class:`~repro.cpu.mmu.BareMMU` machine. The JIT's contract is
   bit-identical state *including* cycles, instret, TLB statistics and
   the full memory image, so everything is compared exactly.
-* **vmm** -- three full-virtualization configs under the hypervisor:
+* **vmm** -- four full-virtualization configs under the hypervisor:
   hardware-assist with shadow paging, hardware-assist with nested
-  paging, and binary translation (shadow). Only *guest-visible* state
-  is compared: registers, pc, the guest CSR view, halt state, pending
+  paging, hardware-assist with H-mode two-stage paging (delegated
+  traps deliver natively; the delegation CSRs are virtualized), and
+  binary translation (shadow). Only *guest-visible* state is
+  compared: registers, pc, the guest CSR view, halt state, pending
   interrupt causes, console output, and guest memory with the
   page-table span masked (the walker sets accessed/dirty bits at
-  TLB-miss time, which legitimately differs between shadow fills and
-  nested walks). Cycle counts are never compared across configs --
-  cost models differ by design. instret *is* comparable everywhere
-  (BT monitor callouts retire, mirroring intercepted-and-emulated
-  instructions under hardware assist), though against BT only on
-  clean halts: at an instruction limit BT overshoots to a block
-  boundary.
+  TLB-miss time, which legitimately differs between shadow fills,
+  nested walks and the hardware two-stage walker). Cycle counts are
+  never compared across configs -- cost models differ by design.
+  instret *is* comparable everywhere (BT monitor callouts retire,
+  mirroring intercepted-and-emulated instructions under hardware
+  assist), though against BT only on clean halts: at an instruction
+  limit BT overshoots to a block boundary.
 
 Each case also carries a seeded :class:`~repro.devices.schedule.
 EventSchedule` (``opts["events"]``, on by default): timer, virtio and
@@ -61,13 +63,25 @@ DEFAULT_MAX_INSTRUCTIONS = 600
 #: identically in every backend.
 IRQ_FAULT_SITES = ("irq.lost", "irq.spurious", "irq.storm", "irq.delayed")
 
+#: H-mode fault sites armed in *every* config's plan. Per-site forked
+#: streams mean the extra specs perturb nothing: configs without an
+#: H-mode vCPU never evaluate these sites, and where they do fire the
+#: effects are host-timing-only (``gstage_stall``) or re-injected
+#: bit-identically (``delegation_miss``), so guest state still agrees.
+HMODE_FAULT_SITES = ("hmode.delegation_miss", "hmode.gstage_stall")
+
 #: CSRs that form the guest-visible control state (counters excluded).
+#: HEDELEG/HIDELEG are plain storage to a guest in every engine --
+#: native CSR-file slots under hardware assist, virtualized into vcsr
+#: by the H-mode policy and the software monitors -- so their values
+#: are comparable across all four configs.
 GUEST_CSRS = (CSR.MODE, CSR.PTBR, CSR.VBAR, CSR.IE, CSR.EPC, CSR.ECAUSE,
-              CSR.EVAL, CSR.SCRATCH, CSR.ESTATUS)
+              CSR.EVAL, CSR.SCRATCH, CSR.ESTATUS, CSR.HEDELEG, CSR.HIDELEG)
 
 VMM_CONFIGS: Tuple[Tuple[str, VirtMode, MMUVirtMode], ...] = (
     ("hw-shadow", VirtMode.HW_ASSIST, MMUVirtMode.SHADOW),
     ("hw-nested", VirtMode.HW_ASSIST, MMUVirtMode.NESTED),
+    ("hw-hmode", VirtMode.HW_ASSIST, MMUVirtMode.HMODE),
     ("bt-shadow", VirtMode.BINARY_TRANSLATION, MMUVirtMode.SHADOW),
 )
 
@@ -196,15 +210,18 @@ def run_vmm(segments: Dict[int, bytes], config_name: str,
     ))
     if fault_rate > 0.0:
         # All sites key to architected points (virtio kicks are
-        # synchronous, IRQ faults draw per line raise / retire edge),
-        # so the same plan fires identically in every config.
+        # synchronous, IRQ faults draw per line raise / retire edge,
+        # hmode sites per trap delivery / two-stage fill), so the same
+        # plan fires identically in every config.
         injector = FaultInjector(FaultPlan(
             seed=fault_seed,
             specs=[FaultSpec("virtio.ring_stuck", rate=fault_rate)]
-            + [FaultSpec(site, rate=fault_rate) for site in IRQ_FAULT_SITES],
+            + [FaultSpec(site, rate=fault_rate) for site in IRQ_FAULT_SITES]
+            + [FaultSpec(site, rate=fault_rate) for site in HMODE_FAULT_SITES],
         ))
         vm.devices["virtio_blk"].injector = injector
         vm.pic.injector = injector
+        hv.injector = injector
     else:
         injector = None
     for addr in sorted(segments):
@@ -240,6 +257,13 @@ def run_vmm(segments: Dict[int, bytes], config_name: str,
 
     csr_src = cpu.csr if hw else vcpu.vcsr
     pending = cpu.pending_irqs if hw else vm.pending_virqs
+    csr_view = {c.name: csr_src[c] for c in GUEST_CSRS}
+    if mmu_mode is MMUVirtMode.HMODE:
+        # The H-mode policy virtualizes the delegation CSRs into vcsr
+        # (the native slots hold the *host's* masks conceptually); the
+        # guest-visible values live beside the software monitors'.
+        for c in (CSR.HEDELEG, CSR.HIDELEG):
+            csr_view[c.name] = vcpu.vcsr[c]
     return {
         "name": config_name,
         "outcome": outcome,
@@ -247,7 +271,7 @@ def run_vmm(segments: Dict[int, bytes], config_name: str,
         "pc": cpu.pc,
         "halted": bool(cpu.halted or vcpu.halted),
         "regs": list(cpu.regs),
-        "csr_view": {c.name: csr_src[c] for c in GUEST_CSRS},
+        "csr_view": csr_view,
         "pending": sorted(c.name for c in pending),
         "console": vm.devices["console"].text,
         "instret": cpu.instret,
@@ -290,10 +314,11 @@ def compare_vmm(results: List[Dict]) -> Tuple[Optional[str], List[str],
             fields.append("instret")
         return fields
 
-    hw_s, hw_n, bt = by_name["hw-shadow"], by_name["hw-nested"], by_name["bt-shadow"]
-    fields = diff_state(hw_s, hw_n, with_instret=True)
-    if fields:
-        return "divergence", fields, ("hw-shadow", "hw-nested")
+    hw_s, bt = by_name["hw-shadow"], by_name["bt-shadow"]
+    for other_name in ("hw-nested", "hw-hmode"):
+        fields = diff_state(hw_s, by_name[other_name], with_instret=True)
+        if fields:
+            return "divergence", fields, ("hw-shadow", other_name)
     if outcome == "halted":
         # BT stops at the same architectural point on a halt; at an
         # instruction limit it legitimately overshoots (its run loop is

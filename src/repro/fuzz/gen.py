@@ -17,8 +17,8 @@ fixed parts plus a variable body:
   branches, self-modifying code, trap-vector corruption, page-table
   root switches, TLB shootdowns, mode switches into a user stub,
   virtio kicks, inline-cache stress loops, interrupt-enabled
-  preemption loops, ...), NOP-padded, ending in a ``syscall 0x7FF``
-  tail.
+  preemption loops, delegation-CSR churn, two-stage paging stress,
+  ...), NOP-padded, ending in a ``syscall 0x7FF`` tail.
 
 Determinism contract: the layout (paging on/off, register seeds, alias
 mappings, restricted-root flags) derives from ``fork(case_seed, 1)``
@@ -723,6 +723,43 @@ class _BodyGen:
         """Virtio kick with IE open: the completion IRQ delivers."""
         return encode(Op.STI) + self.t_kick()
 
+    # H-mode surface: the delegation CSRs are plain storage to a guest
+    # in every engine (native CSR-file slots under hardware assist,
+    # virtualized into vcsr by the H-mode policy and the software
+    # monitors), and page-table churn is exactly where the two-stage
+    # walker's behaviour must stay invisible.
+
+    def t_hdeleg(self):
+        """Delegation-CSR churn: write HEDELEG/HIDELEG, read one back.
+
+        The read-back lands in a compared register, so any engine that
+        masks, traps on, or leaks host state through CSRs 12/13
+        diverges immediately.
+        """
+        wcsr = self.rng.choice([CSR.HEDELEG, CSR.HIDELEG])
+        rcsr = self.rng.choice([CSR.HEDELEG, CSR.HIDELEG])
+        value = self.rng.next_u64() & 0xFFFFFFFF
+        return (encode(Op.MOVI, rd=14, imm32=value)
+                + encode(Op.CSRW, ra=14, simm12=int(wcsr))
+                + encode(Op.CSRR, rd=self._reg(), simm12=int(rcsr)))
+
+    def t_two_stage(self):
+        """Root switch + touch + shootdown in one cell.
+
+        Under H-mode the whole cell runs exit-free against the combined
+        TLB (the load right after the PTBR write re-walks both stages);
+        shadow engines exit on the CSRW *and* the INVLPG. Restricted
+        roots make the touch itself fault sometimes -- survivable via
+        the vector, and the fault cause must agree everywhere.
+        """
+        root = self.rng.choice([ROOT0, ROOT0, ROOT1])
+        addr = self._safe_addr()
+        return (encode(Op.MOVI, rd=14, imm32=root)
+                + encode(Op.CSRW, ra=14, simm12=int(CSR.PTBR))
+                + encode(Op.MOVI, rd=14, imm32=addr)
+                + encode(Op.LD, rd=self._reg(), ra=14)
+                + encode(Op.INVLPG, ra=14))
+
 
 #: (name, weight, needs_paging) -- weights tuned so a typical case mixes
 #: heavy ALU/memory churn with a steady drip of control-plane chaos.
@@ -756,6 +793,8 @@ _TEMPLATES = [
     ("irq_loop", 5, False),
     ("iret_ie", 3, False),
     ("kick_storm", 3, False),
+    ("hdeleg", 2, False),
+    ("two_stage", 3, True),
 ]
 
 

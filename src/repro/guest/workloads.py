@@ -167,6 +167,80 @@ loop:
 """)
 
 
+def pt_mix(maps: int = 64, accesses: int = 4096, pages: int = 256,
+           seed: int = 12345) -> Program:
+    """Interleave page-table churn with TLB-thrashing reads (E11 sweep).
+
+    The crossover workload: ``maps`` map/touch/unmap cycles (page-table
+    modifications -- the shadow-paging tax) interleaved with
+    ``accesses`` LCG-random reads over a pre-touched ``pages``-page
+    working set (TLB misses -- the two-stage/nested walk tax). Sweeping
+    ``maps`` against a fixed ``accesses`` moves the page-table
+    modification rate from memory-intensity-dominated to churn-dominated,
+    which is exactly the software-vs-hardware MMU crossover axis.
+
+    Exit value: sum of the page indices read back plus ``maps``.
+    """
+    if pages & (pages - 1) or not 1 <= pages <= 2048:
+        raise ValueError("pages must be a power of two in 1..2048")
+    if maps < 1 or accesses < maps:
+        raise ValueError("need maps >= 1 and accesses >= maps")
+    inner = accesses // maps
+    va = L.HEAP_END - 0x1000  # churn page, clear of the working set
+    return _assemble(f"""
+    ; phase 1: touch the working set (demand faults paid up front)
+    li   s1, 0
+    li   t3, HEAP_BASE
+touch_loop:
+    st   [t3+0], s1
+    add  t3, t3, 4096
+    add  s1, s1, 1
+    li   t0, {pages}
+    bltu s1, t0, touch_loop
+    ; phase 2: interleaved churn + random reads
+    li   s0, {maps}           ; outer: map/unmap cycles
+    li   s1, {seed}           ; LCG state
+    li   s2, 0                ; checksum
+outer_loop:
+    li   t3, {inner}          ; inner: random reads between churns
+read_loop:
+    mul  s1, s1, 1103515245
+    add  s1, s1, 12345
+    shr  t0, s1, 12
+    and  t0, t0, {pages - 1}
+    shl  t0, t0, 12
+    li   t1, HEAP_BASE
+    add  t0, t0, t1
+    ld   t1, [t0+0]
+    add  s2, s2, t1
+    sub  t3, t3, 1
+    bnez t3, read_loop
+    li   a0, {va:#x}
+    syscall 4                 ; SYS_MAP
+    li   t0, {va:#x}
+    st   [t0+0], s0           ; the mapping must actually be used
+    li   a0, {va:#x}
+    syscall 5                 ; SYS_UNMAP
+    sub  s0, s0, 1
+    bnez s0, outer_loop
+    add  s2, s2, {maps}
+    mov  a0, s2
+    syscall 0
+""")
+
+
+def expected_pt_mix(maps: int = 64, accesses: int = 4096, pages: int = 256,
+                    seed: int = 12345) -> int:
+    """Host-side oracle for :func:`pt_mix`'s exit value."""
+    inner = accesses // maps
+    state = seed
+    total = 0
+    for _ in range(maps * inner):
+        state = (state * 1103515245 + 12345) & 0xFFFFFFFF
+        total += (state >> 12) & (pages - 1)
+    return (total + maps) & 0xFFFFFFFF
+
+
 def map_batch(batches: int = 32, batch_size: int = 8) -> Program:
     """Map heap pages in batches (PV MMU_BATCH amortization)."""
     total = batches * batch_size

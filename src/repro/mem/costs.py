@@ -59,6 +59,16 @@ class CostModel:
     #: VMM cost to emulate one write to a write-protected guest page
     #: table under shadow paging.
     shadow_ptwrite_cycles: int = 500
+    #: One G-stage page-table entry reference during a hardware
+    #: two-stage walk (H-mode). Defaults to the ordinary memory
+    #: reference cost; ablations model a dedicated nested-walk cache by
+    #: lowering it independently of ``mem_ref_cycles``.
+    gstage_ref_cycles: int = 30
+    #: Extra hardware cost of delivering a *delegated* trap directly in
+    #: the guest (H-mode, no VMM involvement). Zero by default so the
+    #: guest-visible cycle stream matches the architected trap cost;
+    #: crossover ablations can charge a premium here.
+    hmode_deleg_extra_cycles: int = 0
 
     @property
     def tlb_miss_cycles(self) -> int:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.hypervisor import Hypervisor
 from repro.core.nested import NestedMMU
+from repro.cpu.mmu import HModeMMU
 from repro.core.shadow import ShadowMMU
 from repro.core.vm import VirtualMachine
 from repro.obs.registry import counter_attr
@@ -213,12 +214,12 @@ class PageSharer:
         mmu = self._mmu(vm)
         if isinstance(mmu, ShadowMMU):
             mmu.drop_gfn(gfn)
-        elif isinstance(mmu, NestedMMU):
+        elif isinstance(mmu, (NestedMMU, HModeMMU)):
             if mmu.ept.lookup(gfn << PAGE_SHIFT) is not None:
                 mmu.ept_unmap(gfn)
 
     def _remap(self, vm: VirtualMachine, gfn: int, hfn: int) -> None:
         mmu = self._mmu(vm)
-        if isinstance(mmu, NestedMMU):
+        if isinstance(mmu, (NestedMMU, HModeMMU)):
             mmu.ept_map(gfn, hfn)
         # Shadow MMUs refill lazily on the next access.

@@ -21,6 +21,7 @@ from typing import Dict, Set, Tuple
 
 from repro.core.hypervisor import Hypervisor
 from repro.core.nested import NestedMMU
+from repro.cpu.mmu import HModeMMU
 from repro.core.shadow import ShadowMMU
 from repro.core.vm import VirtualMachine
 from repro.obs.registry import counter_attr
@@ -79,7 +80,7 @@ class HostSwap:
         mmu = vm.vcpus[0].cpu.mmu
         if isinstance(mmu, ShadowMMU):
             mmu.drop_gfn(gfn)
-        elif isinstance(mmu, NestedMMU):
+        elif isinstance(mmu, (NestedMMU, HModeMMU)):
             if mmu.ept.lookup(gfn << PAGE_SHIFT) is not None:
                 mmu.ept_unmap(gfn)
         hfn = vm.guest_mem.unmap_page(gfn)

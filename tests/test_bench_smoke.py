@@ -25,7 +25,8 @@ def test_e1_small():
     result = run_e1(syscalls=40)
     assert result.experiment == "E1"
     modes = result.raw["modes"]
-    assert len(modes) == 6
+    assert len(modes) == 7
+    assert "hw+hmode" in modes
     assert not modes["trap-emulate"].correct
     assert modes["native"].exits == 0
     assert "trap-emulate" in result.render()

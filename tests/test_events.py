@@ -10,6 +10,8 @@ agrees bit-for-bit on where that edge lands.
 
 import pytest
 
+from repro.core import GuestConfig, Hypervisor, MMUVirtMode, VirtMode
+from repro.core.hypervisor import RunOutcome
 from repro.cpu.interp import CPUCore, StopReason
 from repro.cpu.isa import CSR, Cause, Op, encode
 from repro.cpu.mmu import BareMMU
@@ -198,6 +200,92 @@ class TestDeliveryRule:
         # into zero words -- so bound the run instead.
         assert Cause.IRQ_TIMER in cpu.pending_irqs
         assert res.stop is not StopReason.HALT or cpu.regs[5] == 0
+
+
+# -- the PR-9 wedge, audited across every VMM pump path ---------------------
+
+
+class TestHLTAtDueEdgeVMM:
+    """An intercepted HLT landing exactly on a due event edge must not
+    wedge the pump. PR 9 fixed this for the hw-assist path by firing
+    due events before the idle check; that fix lives in the *shared*
+    run loop, but each engine reaches it through a different pump path
+    (native pending-IRQ wake, virtual-IRQ injection, BT re-entry,
+    H-mode delegated delivery) -- so every path is pinned here, with
+    the event due at every edge up to and including the HLT's own
+    retire edge.
+    """
+
+    CONFIGS = [
+        ("hw-shadow", VirtMode.HW_ASSIST, MMUVirtMode.SHADOW),
+        ("hw-nested", VirtMode.HW_ASSIST, MMUVirtMode.NESTED),
+        ("hw-hmode", VirtMode.HW_ASSIST, MMUVirtMode.HMODE),
+        ("bt-shadow", VirtMode.BINARY_TRANSLATION, MMUVirtMode.SHADOW),
+    ]
+
+    #: MOVI retires at 1, CSRW at 2, STI at 3, the HLT at edge 4.
+    HLT_EDGE = 4
+
+    @staticmethod
+    def _sleep_image():
+        E = encode
+        return {
+            ENTRY: b"".join([
+                E(Op.MOVI, rd=15, imm32=VEC),
+                E(Op.CSRW, ra=15, simm12=int(CSR.VBAR)),
+                E(Op.STI),
+                E(Op.HLT),
+                E(Op.HLT),  # resumed-past-first-HLT lands here
+            ]),
+            VEC: E(Op.ADD, rd=5, ra=5, imm32=1) + E(Op.IRET),
+        }
+
+    def _run(self, virt_mode, mmu_mode, due):
+        hv = Hypervisor(memory_bytes=0x800000)
+        vm = hv.create_vm(GuestConfig(
+            name="t", memory_bytes=0x100000, virt_mode=virt_mode,
+            mmu_mode=mmu_mode, prealloc=True))
+        for addr, data in self._sleep_image().items():
+            vm.guest_mem.write_bytes(addr, data)
+        hv.reset_vcpu(vm, ENTRY)
+        cpu = vm.vcpus[0].cpu
+        cpu.events = EventSchedule(
+            [(due, IRQ_TIMER_LINE)], vm.pic,
+            exit_on_fire=virt_mode is not VirtMode.HW_ASSIST)
+        out = hv.run(vm, max_guest_instructions=100, max_cycles=2_000_000)
+        return out, cpu
+
+    @pytest.mark.parametrize("name,virt_mode,mmu_mode", CONFIGS,
+                             ids=[c[0] for c in CONFIGS])
+    @pytest.mark.parametrize("due", [1, 2, 3, HLT_EDGE])
+    def test_due_edge_never_wedges_the_pump(self, name, virt_mode,
+                                            mmu_mode, due):
+        out, cpu = self._run(virt_mode, mmu_mode, due)
+        # Not CYCLE_LIMIT (the wedge's signature: the pump spinning or
+        # fast-forwarding forever) and not a sleep-through: the handler
+        # ran exactly once, whether the event preceded the HLT or hit
+        # its exact retire edge.
+        assert out is RunOutcome.HALTED
+        assert cpu.regs[5] == 1
+        assert not cpu.pending_irqs
+
+    @pytest.mark.parametrize("name,virt_mode,mmu_mode", CONFIGS,
+                             ids=[c[0] for c in CONFIGS])
+    def test_hlt_edge_wake_matches_bare_core(self, name, virt_mode,
+                                             mmu_mode):
+        # The due-at-HLT-edge wake must land at the same architectural
+        # point as on a bare machine: handler round-trip, then the
+        # second HLT -- 7 retired instructions, identically numbered
+        # in every engine (BT callouts retire like intercepted-and-
+        # emulated instructions).
+        bare = _cpu(self._sleep_image(), jit=False,
+                    events=[(self.HLT_EDGE, IRQ_TIMER_LINE)])
+        bare.run(max_instructions=100)
+        assert bare.instret == 7
+        out, cpu = self._run(virt_mode, mmu_mode, self.HLT_EDGE)
+        assert out is RunOutcome.HALTED
+        assert cpu.instret == bare.instret
+        assert cpu.regs[5] == bare.regs[5] == 1
 
 
 # -- InterruptController edges ----------------------------------------------

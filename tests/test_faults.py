@@ -130,6 +130,79 @@ def test_register_site_extends_registry():
         _inj._KNOWN_SITES.pop("test.custom_site", None)
 
 
+def test_docstring_site_table_matches_catalog():
+    # Every ``subsystem.point`` token in the module docstring must be a
+    # registered site and vice versa, so the docs can't drift from the
+    # registry again (a typo'd table entry once shipped unnoticed).
+    import re
+
+    from repro.faults import injector as inj_mod
+    from repro.faults.injector import site_catalog
+
+    documented = set(re.findall(r"``([a-z_]+\.[a-z_]+)``", inj_mod.__doc__))
+    catalog = {name for name, _desc in site_catalog()}
+    assert documented == catalog
+
+
+def test_catalog_names_and_subsystem_tags_are_consistent():
+    # site_catalog() is the single source for ``repro faults --list``;
+    # every entry must be sorted, described, and carry a well-formed
+    # ``subsystem.point`` name (the CLI derives its [subsystem] tag by
+    # splitting on the first dot).
+    import re
+
+    from repro.faults.injector import site_catalog
+
+    sites = site_catalog()
+    names = [name for name, _d in sites]
+    assert names == sorted(names)
+    for name, description in sites:
+        assert re.fullmatch(r"[a-z_]+\.[a-z_]+", name), name
+        assert description, f"{name} has no description"
+    assert "hmode.delegation_miss" in names
+    assert "hmode.gstage_stall" in names
+
+
+def test_cli_faults_list_shows_hmode_sites(capsys):
+    import argparse
+
+    from repro.cli import _cmd_faults
+
+    assert _cmd_faults(argparse.Namespace(list=True)) == 0
+    out = capsys.readouterr().out
+    assert "hmode.delegation_miss" in out
+    assert "hmode.gstage_stall" in out
+    assert "[hmode]" in out
+
+
+def test_hmode_sites_have_forked_streams_like_irq():
+    # Planning the hmode sites must not shift any other site's
+    # schedule: per-site streams are forked, so the irq.lost sequence
+    # is identical with and without the hmode specs in the plan.
+    without = _injector(FaultSpec("irq.lost", rate=0.5))
+    with_hmode = _injector(
+        FaultSpec("irq.lost", rate=0.5),
+        FaultSpec("hmode.delegation_miss", rate=0.5),
+        FaultSpec("hmode.gstage_stall", rate=0.5),
+    )
+    seq_a = [without.fires("irq.lost") for _ in range(100)]
+    seq_b = []
+    for _ in range(100):
+        with_hmode.fires("hmode.delegation_miss")
+        with_hmode.fires("hmode.gstage_stall")
+        seq_b.append(with_hmode.fires("irq.lost"))
+    assert seq_a == seq_b
+    assert any(seq_a) and not all(seq_a)
+
+
+def test_hmode_sites_pin_like_any_other():
+    inj = _injector(
+        FaultSpec("hmode.delegation_miss", rate=1.0, after=3, count=1))
+    fired_at = [i for i in range(8) if inj.fires("hmode.delegation_miss")]
+    assert fired_at == [3]
+    assert inj.fired("hmode.delegation_miss") == 1
+
+
 # -- watchdog + device timeout monitor ---------------------------------------
 
 
